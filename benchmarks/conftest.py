@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Each experiment benchmark runs its (deterministic, seconds-long) simulation
+exactly once via ``benchmark.pedantic`` — wall-clock variance across
+repeats is meaningless for a deterministic discrete-event run, and the
+assertions on the *results* are what reproduce the paper's numbers.
+Micro-benchmarks (crypto, erasure coding, event loop) use the default
+pytest-benchmark calibration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+    return runner

@@ -1,0 +1,44 @@
+"""Benchmark E3 — message complexity (Section 1).
+
+Paper: O(n²) expected per synchronous round; O(n³) worst case under an
+adversarial scheduler.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.message_complexity import run_synchronous, run_worst_case
+
+
+class TestSynchronousQuadratic:
+    def test_constant_per_n2(self, once):
+        points = once(run_synchronous, ns=(4, 7, 13, 25, 40), rounds=10)
+        ratios = [p.per_n2 for p in points]
+        # messages/n² is flat across a 10x n range: clean O(n²).
+        assert max(ratios) / min(ratios) < 1.25
+
+    def test_absolute_constant_small(self, once):
+        points = once(run_synchronous, ns=(13,), rounds=10)
+        # Each party makes a small constant number of broadcasts per round.
+        assert points[0].per_n2 < 12
+
+
+class TestWorstCaseCubic:
+    def test_per_n3_stabilizes(self, once):
+        points = once(run_worst_case, ns=(4, 7, 10, 13), rounds=5)
+        # messages/n³ converges (to ~2 + O(1/n)) while messages/n² grows
+        # linearly in n: the adversary really extracts Θ(n³).
+        per_n3 = [p.per_n3 for p in points]
+        assert per_n3[-1] == pytest.approx(per_n3[-2], rel=0.15)
+        per_n2 = [p.per_n2 for p in points]
+        assert per_n2[-1] > per_n2[0] * 2
+
+    def test_adversary_beats_synchronous(self, once):
+        def both():
+            sync = run_synchronous(ns=(10,), rounds=6)[0]
+            worst = run_worst_case(ns=(10,), rounds=4)[0]
+            return sync, worst
+
+        sync, worst = once(both)
+        assert worst.messages_per_round > sync.messages_per_round * 2

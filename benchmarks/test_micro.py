@@ -1,0 +1,105 @@
+"""Micro-benchmarks: substrate hot paths.
+
+These quantify the simulator's own costs (crypto, erasure coding, event
+dispatch) — useful when sizing larger experiments, and a regression guard
+on the substrate.
+"""
+
+from __future__ import annotations
+
+import os
+from random import Random
+
+from repro.crypto import schnorr, threshold
+from repro.crypto.group import test_group as make_test_group
+from repro.crypto.keyring import generate_keyrings
+from repro.erasure.merkle import MerkleTree
+from repro.erasure.reed_solomon import CodecParams, decode, encode
+from repro.sim.simulator import Simulation
+
+
+class TestCryptoMicro:
+    def test_schnorr_sign(self, benchmark):
+        group = make_test_group()
+        rng = Random(1)
+        keys = schnorr.keygen(group, rng)
+        benchmark(lambda: schnorr.sign(group, keys.secret, b"message", rng))
+
+    def test_schnorr_verify(self, benchmark):
+        group = make_test_group()
+        rng = Random(1)
+        keys = schnorr.keygen(group, rng)
+        sig = schnorr.sign(group, keys.secret, b"message", rng)
+        benchmark(lambda: schnorr.verify(group, keys.public, b"message", sig))
+
+    def test_threshold_share_sign(self, benchmark):
+        group = make_test_group()
+        rng = Random(1)
+        pk, keys = threshold.keygen(group, threshold=5, n=13, rng=rng)
+        benchmark(lambda: threshold.sign_share(pk, keys[0], b"beacon", rng))
+
+    def test_threshold_combine(self, benchmark):
+        group = make_test_group()
+        rng = Random(1)
+        pk, keys = threshold.keygen(group, threshold=5, n=13, rng=rng)
+        shares = [threshold.sign_share(pk, k, b"beacon", rng) for k in keys[:5]]
+        benchmark(lambda: threshold.combine(pk, b"beacon", shares))
+
+    def test_fast_backend_notary_share(self, benchmark):
+        rings = generate_keyrings(13, 4, backend="fast")
+        benchmark(lambda: rings[0].sign_notary_share(b"message"))
+
+
+class TestErasureMicro:
+    def test_rs_encode_100kb(self, benchmark):
+        data = os.urandom(100_000)
+        params = CodecParams(5, 13)
+        benchmark(lambda: encode(data, params))
+
+    def test_rs_decode_100kb_from_parity(self, benchmark):
+        data = os.urandom(100_000)
+        params = CodecParams(5, 13)
+        shards = encode(data, params)
+        subset = {i: shards[i] for i in range(8, 13)}
+        benchmark(lambda: decode(subset, params, len(data)))
+
+    def test_merkle_tree_40_leaves(self, benchmark):
+        leaves = [os.urandom(1024) for _ in range(40)]
+        benchmark(lambda: MerkleTree(leaves))
+
+
+class TestSimulatorMicro:
+    def test_event_dispatch_rate(self, benchmark):
+        def run_10k_events():
+            sim = Simulation()
+            remaining = [10_000]
+
+            def tick():
+                remaining[0] -= 1
+                if remaining[0] > 0:
+                    sim.schedule(0.001, tick)
+
+            sim.schedule(0.0, tick)
+            sim.run()
+            return sim.events_processed
+
+        assert benchmark(run_10k_events) == 10_000
+
+
+class TestEndToEndMicro:
+    def test_icc0_simulated_round_cost(self, benchmark):
+        """Wall-clock cost of one simulated ICC0 round, 13 parties."""
+        from repro.core import ClusterConfig, build_cluster
+        from repro.sim.delays import FixedDelay
+
+        def ten_rounds():
+            config = ClusterConfig(
+                n=13, t=4, delta_bound=0.5, epsilon=0.01,
+                delay_model=FixedDelay(0.05), max_rounds=10, seed=1,
+            )
+            cluster = build_cluster(config)
+            cluster.start()
+            cluster.run_until_all_committed_round(9, timeout=60)
+            return cluster.min_committed_round()
+
+        assert benchmark(ten_rounds) >= 9

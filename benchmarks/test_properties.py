@@ -1,0 +1,15 @@
+"""Benchmark E8 — protocol properties P1/P2/P3 under adversarial sweeps."""
+
+from __future__ import annotations
+
+from repro.experiments.properties import run_liveness_intermittent, run_safety_sweep
+
+
+class TestProperties:
+    def test_safety_sweep(self, once):
+        verdict = once(run_safety_sweep, trials=8)
+        assert verdict.ok
+
+    def test_liveness_intermittent_synchrony(self, once):
+        verdict = once(run_liveness_intermittent, trials=4)
+        assert verdict.ok

@@ -1,0 +1,35 @@
+"""Benchmark E6 — optimistic responsiveness (Section 1).
+
+Paper: ICC runs at network speed (2δ rounds) under honest leaders even
+when Δbnd is set conservatively; Tendermint's rounds cost O(Δbnd)
+regardless of the actual δ.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.responsiveness import DELTA_BOUND, run_point
+
+
+class TestResponsiveness:
+    def test_icc_tracks_delta(self, once):
+        def sweep():
+            return [run_point(d, n=7, blocks=12) for d in (0.005, 0.05, 0.2)]
+
+        results = once(sweep)
+        for r in results:
+            assert r.icc0_block_time == pytest.approx(2 * r.delta, rel=0.1)
+
+    def test_tendermint_pinned_to_bound(self, once):
+        def sweep():
+            return [run_point(d, n=7, blocks=10) for d in (0.005, 0.05)]
+
+        results = once(sweep)
+        for r in results:
+            assert r.tendermint_block_time >= DELTA_BOUND * 0.9
+
+    def test_gap_widens_as_network_gets_faster(self, once):
+        r = once(run_point, 0.005, n=7, blocks=10)
+        # At δ = 5 ms and Δbnd = 1 s, ICC is ~100x faster per block.
+        assert r.tendermint_block_time / r.icc0_block_time > 50

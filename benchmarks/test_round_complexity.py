@@ -1,0 +1,41 @@
+"""Benchmark E4 — round complexity (Section 1).
+
+Paper: rounds-until-commit is O(1) in expectation and O(log n) w.h.p. for
+a static adversary, and eventually one block commits for *every* round.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.round_complexity import run_one
+
+
+class TestExpectedConstant:
+    def test_mean_gap_bounded_by_geometric(self, once):
+        r = once(run_one, 13, rounds=100)
+        # Mean commit-batch size ≤ n/(n-t) + slack: O(1) in expectation.
+        assert r.mean_gap <= r.expected_mean_gap + 0.5
+
+    def test_every_round_committed(self, once):
+        r = once(run_one, 13, rounds=80)
+        assert r.all_rounds_eventually_committed
+
+
+class TestLogTail:
+    def test_max_gap_logarithmic(self, once):
+        def sweep():
+            return [run_one(n, rounds=80) for n in (7, 13, 25)]
+
+        results = once(sweep)
+        import math
+
+        for r in results:
+            # Geometric tail: P(gap > c·log n) is negligible; over 80
+            # rounds the max batch stays within ~4·log2(n).
+            assert r.max_gap <= 4 * math.log2(r.n) + 2
+
+    def test_gap_does_not_grow_with_n(self, once):
+        def sweep():
+            return [run_one(n, rounds=60) for n in (7, 25)]
+
+        small, large = once(sweep)
+        assert large.mean_gap < small.mean_gap + 1.0

@@ -1,0 +1,52 @@
+"""Benchmarks E1/E2 — reciprocal throughput and latency (Section 1).
+
+Paper: ICC0/ICC1 finish a round every 2δ and commit after 3δ;
+ICC2 pays one extra δ (3δ / 4δ).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.throughput_latency import run_one
+
+
+class TestICC0:
+    def test_round_time_2_delta(self, once):
+        r = once(run_one, "ICC0", 0.05, n=7, rounds=25)
+        assert r.round_time_in_delta == pytest.approx(2.0, rel=0.05)
+
+    def test_latency_3_delta(self, once):
+        r = once(run_one, "ICC0", 0.1, n=7, rounds=25)
+        assert r.latency_in_delta == pytest.approx(3.0, rel=0.05)
+
+
+class TestICC1:
+    def test_round_time_2_delta(self, once):
+        r = once(run_one, "ICC1", 0.05, n=7, rounds=25)
+        assert r.round_time_in_delta == pytest.approx(2.0, rel=0.05)
+
+    def test_latency_3_delta(self, once):
+        r = once(run_one, "ICC1", 0.05, n=7, rounds=25)
+        assert r.latency_in_delta == pytest.approx(3.0, rel=0.05)
+
+
+class TestICC2:
+    def test_round_time_3_delta(self, once):
+        r = once(run_one, "ICC2", 0.05, n=7, rounds=25)
+        assert r.round_time_in_delta == pytest.approx(3.0, rel=0.05)
+
+    def test_latency_4_delta(self, once):
+        r = once(run_one, "ICC2", 0.05, n=7, rounds=25)
+        assert r.latency_in_delta == pytest.approx(4.0, rel=0.05)
+
+
+class TestDeltaScaling:
+    def test_round_time_scales_linearly_with_delta(self, once):
+        """Optimistic responsiveness: round time is c·δ, not c·Δbnd."""
+
+        def sweep():
+            return [run_one("ICC0", d, n=7, rounds=15) for d in (0.02, 0.08)]
+
+        small, large = once(sweep)
+        assert large.round_time / small.round_time == pytest.approx(4.0, rel=0.1)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Robust consensus demo: ICC under attack vs PBFT under attack.
+
+Reproduces the paper's Section 1.1 "robust consensus" argument live:
+
+1. a 10-party ICC0 deployment absorbs the full t=3 Byzantine budget
+   (an equivocating proposer, a slow proposer, a silent node) and keeps
+   committing at a bounded slowdown;
+2. the same network running PBFT is throttled to the attacker's pace by a
+   single slow primary that stays just under the view-change timeout
+   (the attack of [15] the paper cites).
+
+Run:  python examples/byzantine_resilience.py
+"""
+
+from __future__ import annotations
+
+from repro.adversary import (
+    EquivocatingProposerMixin,
+    SilentMixin,
+    SlowProposerMixin,
+    corrupt_class,
+)
+from repro.baselines import BaselineClusterConfig, PBFTParty, build_baseline_cluster
+from repro.core import ClusterConfig, build_cluster
+from repro.core.icc0 import ICC0Party
+from repro.experiments.robustness import SlowPrimaryPBFT
+from repro.sim import FixedDelay
+
+N, T = 10, 3
+DELTA = 0.05
+DURATION = 60.0
+
+
+def run_icc(attack: bool) -> float:
+    corrupt = {}
+    if attack:
+        slow = corrupt_class(ICC0Party, SlowProposerMixin)
+        slow.propose_lag = 3.0
+        corrupt = {
+            1: corrupt_class(ICC0Party, EquivocatingProposerMixin),
+            2: slow,
+            3: corrupt_class(ICC0Party, SilentMixin),
+        }
+    config = ClusterConfig(
+        n=N, t=T, delta_bound=0.5, epsilon=0.01,
+        delay_model=FixedDelay(DELTA), seed=3, corrupt=corrupt,
+    )
+    cluster = build_cluster(config)
+    cluster.start()
+    cluster.run_for(DURATION)
+    cluster.check_safety()
+    return cluster.metrics.blocks_per_second(cluster.honest_parties[0].index, DURATION)
+
+
+def run_pbft(attack: bool) -> float:
+    corrupt = {}
+    if attack:
+        SlowPrimaryPBFT.propose_lag = 3.0
+        corrupt = {1: SlowPrimaryPBFT}  # the view-1 primary
+    config = BaselineClusterConfig(
+        party_class=PBFTParty, n=N, t=T, seed=3,
+        delay_model=FixedDelay(DELTA), corrupt=corrupt,
+        party_kwargs=dict(view_timeout=4.0),
+    )
+    cluster = build_baseline_cluster(config)
+    cluster.start()
+    cluster.run_for(DURATION)
+    cluster.check_safety()
+    return cluster.metrics.blocks_per_second(cluster.honest_parties[-1].index, DURATION)
+
+
+def main() -> None:
+    print(f"{N} parties, {DELTA * 1000:.0f} ms network, {DURATION:.0f}s simulated\n")
+    rows = [
+        ("ICC0", run_icc(False), run_icc(True),
+         "equivocator + slow proposer + silent node (full t=3)"),
+        ("PBFT", run_pbft(False), run_pbft(True),
+         "one slow primary, just under the view-change timeout"),
+    ]
+    print(f"{'protocol':<9}{'fault-free':>12}{'under attack':>14}{'retention':>11}   attack")
+    for name, clean, attacked, attack_desc in rows:
+        print(
+            f"{name:<9}{clean:>10.2f}/s{attacked:>12.2f}/s"
+            f"{attacked / clean:>10.0%}   {attack_desc}"
+        )
+    print()
+    print("ICC rotates leadership via the random beacon every round, so the")
+    print("attackers only slow the rounds they happen to lead; PBFT keeps the")
+    print("slow primary until a timeout it is careful never to trigger.")
+
+
+if __name__ == "__main__":
+    main()

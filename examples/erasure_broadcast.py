@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""ICC2's erasure-coded reliable broadcast, end to end.
+
+Demonstrates the subprotocol of independent interest (Section 1): a dealer
+disperses a 2 MB block as Reed–Solomon fragments with Merkle proofs; every
+party reconstructs after one echo round; per-party traffic is O(S) instead
+of the (n-1)·S a naive broadcast costs — then shows the consistency check
+defeating an inconsistent (Byzantine) dealer.
+
+Run:  python examples/erasure_broadcast.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.erasure.merkle import MerkleTree
+from repro.erasure.reed_solomon import CodecParams, encode
+from repro.rbc.protocol import Fragment, RbcEndpoint, RbcMessage
+from repro.sim import FixedDelay, Metrics, Network, Simulation
+
+N, T = 13, 4
+DELTA = 0.05
+BLOCK = os.urandom(2_000_000)  # a 2 MB block, "a few megabytes" per §1
+
+
+def build(seed=1):
+    sim = Simulation(seed=seed)
+    network = Network(sim, N, FixedDelay(DELTA), Metrics(n=N))
+    delivered: dict[int, list[bytes]] = {i: [] for i in range(1, N + 1)}
+    endpoints = {}
+    for i in range(1, N + 1):
+        endpoint = RbcEndpoint(
+            index=i, n=N, t=T, network=network,
+            deliver=lambda dealer, root, data, i=i: delivered[i].append(data),
+        )
+        endpoints[i] = endpoint
+        shim = type("Shim", (), {
+            "index": i,
+            "on_receive": lambda self, m, ep=endpoint: ep.on_message(m),
+        })()
+        network.attach(shim)
+    return sim, network, endpoints, delivered
+
+
+def honest_dispersal() -> None:
+    sim, network, endpoints, delivered = build()
+    endpoints[1].disperse(BLOCK)
+    sim.run()
+    ok = sum(1 for msgs in delivered.values() if msgs == [BLOCK])
+    naive = (N - 1) * len(BLOCK)
+    print(f"block size            : {len(BLOCK) / 1e6:.1f} MB, n={N}, t={T} "
+          f"(reconstruct from any {T + 1} fragments)")
+    print(f"parties delivered     : {ok}/{N}")
+    print(f"delivery latency      : 2δ = {2 * DELTA * 1000:.0f} ms "
+          f"(Cachin–Tessaro needs 3 message rounds)")
+    print(f"dealer egress         : {network.metrics.bytes_sent[1] / 1e6:.2f} MB "
+          f"(naive broadcast: {naive / 1e6:.1f} MB)")
+    others = max(network.metrics.bytes_sent[i] for i in range(2, N + 1))
+    print(f"max non-dealer egress : {others / 1e6:.2f} MB  "
+          f"(= n/(t+1) ≈ {N / (T + 1):.1f}·S, flat in n)")
+
+
+def inconsistent_dealer() -> None:
+    sim, network, endpoints, delivered = build(seed=2)
+    params = CodecParams(k=T + 1, m=N)
+    shards_a = encode(b"A" * 4096, params)
+    shards_b = encode(b"B" * 4096, params)
+    mixed = shards_a[:6] + shards_b[6:]  # commitment over an impossible encoding
+    tree = MerkleTree(mixed)
+    for target in range(2, N + 1):
+        network.send(1, target, RbcMessage(
+            dealer=1, root=tree.root, data_length=4096, phase="send",
+            fragment=Fragment(index=target - 1, data=mixed[target - 1],
+                              proof=tree.proof(target - 1)),
+        ))
+    sim.run()
+    victims = sum(1 for msgs in delivered.values() if msgs)
+    print(f"parties tricked       : {victims}/{N} "
+          "(re-encode check catches the inconsistent commitment)")
+
+
+def main() -> None:
+    print("— honest dealer —")
+    honest_dispersal()
+    print()
+    print("— Byzantine dealer mixing two encodings under one Merkle root —")
+    inconsistent_dealer()
+
+
+if __name__ == "__main__":
+    main()

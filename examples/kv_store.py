@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""A Byzantine fault-tolerant replicated key-value store on ICC1.
+
+The paper's motivating application (Section 1): state machine replication.
+Clients issue PUT commands at 50 req/s; every replica applies the
+committed command stream to a deterministic KV machine; checkpoints prove
+all replicas walk through identical states — even with a crashed node and
+an equivocating proposer in the mix.
+
+Run:  python examples/kv_store.py
+"""
+
+from __future__ import annotations
+
+from repro.adversary import EquivocatingProposerMixin, corrupt_class
+from repro.core import ClusterConfig, Payload, build_cluster
+from repro.core.icc1 import ICC1Party
+from repro.gossip import GossipParams, build_overlay
+from repro.sim import WanDelay
+from repro.smr import KVStateMachine, attach_replicas, check_replica_agreement
+
+N = 10
+T = 3
+DURATION = 30.0
+
+
+class KVWorkload:
+    """Turns client PUTs into block payloads, deduplicating via the chain."""
+
+    def __init__(self) -> None:
+        self.sequence = 0
+        self.pending: dict[bytes, bytes] = {}
+
+    def install(self, cluster, rate: float, duration: float) -> None:
+        interval = 1.0 / rate
+        time = interval
+
+        def submit():
+            self.sequence += 1
+            key = b"user:%d" % (self.sequence % 25)
+            value = b"balance=%d" % (self.sequence * 10)
+            command = KVStateMachine.put(key, value)
+            self.pending[b"%d" % self.sequence] = command
+
+        while time < duration:
+            cluster.sim.schedule_at(time, submit)
+            time += interval
+
+    def payload_source(self, party, round, chain):
+        included = {c for b in chain for c in b.payload.commands}
+        fresh = [c for c in self.pending.values() if c not in included]
+        return Payload(commands=tuple(fresh[:100]))
+
+
+def main() -> None:
+    workload = KVWorkload()
+    equivocator = corrupt_class(ICC1Party, EquivocatingProposerMixin)
+    config = ClusterConfig(
+        n=N,
+        t=T,
+        delta_bound=0.5,
+        epsilon=0.05,
+        delay_model=WanDelay(),  # the paper's 6-110ms RTT WAN
+        seed=7,
+        payload_source=workload.payload_source,
+        party_class=ICC1Party,
+        corrupt={1: None, 2: equivocator},  # one crash + one equivocator
+        extra_party_kwargs=dict(
+            overlay=build_overlay(N, 4, seed=7),
+            gossip_params=GossipParams(request_timeout=0.5),
+        ),
+    )
+    cluster = build_cluster(config)
+    replicas = attach_replicas(cluster, checkpoint_interval=25)
+    workload.install(cluster, rate=50.0, duration=DURATION)
+    cluster.start()
+    cluster.run_for(DURATION + 10.0)
+
+    cluster.check_safety()
+    check_replica_agreement(replicas)
+
+    live = [r for r in replicas if r.party.index not in (1, 2)]
+    machine = live[0].machine
+    print(f"simulated duration : {cluster.sim.now:.1f}s on a WAN "
+          f"(crash + equivocator among {N} nodes)")
+    print(f"rounds committed   : {live[0].party.k_max}")
+    print(f"commands applied   : {live[0].commands_applied} "
+          f"({machine.rejected} rejected deterministically)")
+    print(f"replica state size : {len(machine.state)} keys")
+    print(f"state digest       : {machine.digest().hex()[:24]}… "
+          f"(identical on all {len(live)} live replicas)")
+    sample = sorted(machine.state.items())[:4]
+    print("sample entries     :")
+    for key, value in sample:
+        print(f"  {key.decode()} = {value.decode()}")
+    print()
+    print("replica agreement verified across",
+          sum(len(r.checkpoints) for r in live), "checkpoints")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline toolchain in some environments lacks the ``wheel`` package that
+PEP 660 editable installs require; keeping a ``setup.py`` lets
+``pip install -e .`` fall back to the legacy editable path.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""repro — a full Python reproduction of "Internet Computer Consensus" (PODC 2022).
+
+Public API highlights:
+
+* :func:`repro.core.build_cluster` / :class:`repro.core.ClusterConfig` —
+  assemble and run simulated ICC deployments;
+* :class:`repro.core.ICC0Party`, plus the ICC1 (gossip) and ICC2
+  (erasure-coded reliable broadcast) parties in :mod:`repro.core.icc1` and
+  :mod:`repro.core.icc2`;
+* :mod:`repro.baselines` — PBFT, chained HotStuff, Tendermint on the same
+  substrate;
+* :mod:`repro.experiments` — regenerates the paper's Table 1 and the
+  analytical performance claims (see EXPERIMENTS.md).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,119 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``        — the quickstart scenario (a few ICC0 rounds + stats);
+* ``table1``      — reproduce Table 1 (``--full`` for 300 s windows);
+* ``experiments`` — the entire evaluation suite (``--quick`` supported);
+* ``versions``    — substrate self-check (group parameters, codec, sizes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_demo(args: argparse.Namespace) -> None:
+    from repro.core import ClusterConfig, Payload, build_cluster
+    from repro.sim import FixedDelay
+
+    delta = args.delta
+    config = ClusterConfig(
+        n=args.n,
+        t=(args.n - 1) // 3,
+        delta_bound=delta * 6,
+        epsilon=delta / 5,
+        delay_model=FixedDelay(delta),
+        max_rounds=args.rounds,
+        payload_source=lambda p, r, c: Payload(commands=(b"demo-%d" % r,)),
+        seed=args.seed,
+    )
+    cluster = build_cluster(config)
+    cluster.start()
+    cluster.run_until_all_committed_round(args.rounds - 1, timeout=600)
+    cluster.check_safety()
+    observer = cluster.party(1)
+    print(f"n={args.n} parties, δ={delta * 1000:.0f} ms, seed={args.seed}")
+    print(f"committed {observer.k_max} rounds in {cluster.sim.now:.2f}s simulated")
+    durations = cluster.metrics.round_durations(1)
+    steady = [v for k, v in durations.items() if k >= 2]
+    latencies = cluster.metrics.commit_latencies()
+    print(f"round time  : {sum(steady) / len(steady) / delta:.2f} δ (paper: 2δ)")
+    print(f"latency     : {sum(latencies) / len(latencies) / delta:.2f} δ (paper: 3δ)")
+    leaders = [b.proposer for b in observer.output_log]
+    print(f"leaders     : {leaders}")
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    from repro.experiments import table1
+
+    table1.main(duration=300.0 if args.full else 60.0)
+
+
+def _cmd_experiments(args: argparse.Namespace) -> None:
+    from repro.experiments import run_all
+
+    run_all.main(["--quick"] if args.quick else [])
+
+
+def _cmd_report(args: argparse.Namespace) -> None:
+    from repro.experiments import report
+
+    argv = [args.output]
+    if args.quick:
+        argv.append("--quick")
+    report.main(argv)
+
+
+def _cmd_versions(args: argparse.Namespace) -> None:
+    import repro
+    from repro.crypto.group import default_group, test_group
+    from repro.erasure.reed_solomon import CodecParams, decode, encode
+
+    print(f"repro {repro.__version__}")
+    for name, group in (("test", test_group()), ("default", default_group())):
+        print(f"group[{name}]: |p|={group.p.bit_length()} bits, "
+              f"|q|={group.q.bit_length()} bits, g={hex(group.g)[:18]}…")
+    data = bytes(range(64))
+    shards = encode(data, CodecParams(3, 7))
+    assert decode({0: shards[0], 5: shards[5], 6: shards[6]}, CodecParams(3, 7), 64) == data
+    print("reed-solomon: self-check OK (3-of-7 over 64 bytes)")
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Internet Computer Consensus (PODC 2022) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a small ICC0 deployment")
+    demo.add_argument("--n", type=int, default=7)
+    demo.add_argument("--rounds", type=int, default=15)
+    demo.add_argument("--delta", type=float, default=0.05)
+    demo.add_argument("--seed", type=int, default=42)
+    demo.set_defaults(func=_cmd_demo)
+
+    table1 = sub.add_parser("table1", help="reproduce Table 1")
+    table1.add_argument("--full", action="store_true", help="300 s windows")
+    table1.set_defaults(func=_cmd_table1)
+
+    experiments = sub.add_parser("experiments", help="run the full evaluation")
+    experiments.add_argument("--quick", action="store_true")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    report = sub.add_parser("report", help="write a markdown evaluation report")
+    report.add_argument("output", nargs="?", default="EXPERIMENTS-generated.md")
+    report.add_argument("--quick", action="store_true")
+    report.set_defaults(func=_cmd_report)
+
+    versions = sub.add_parser("versions", help="substrate self-check")
+    versions.set_defaults(func=_cmd_versions)
+
+    args = parser.parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Adversary library: pluggable Byzantine behaviours for any ICC variant."""
+
+from .behaviors import (
+    AggressiveByzantineMixin,
+    ConsistentFailureMixin,
+    EquivocatingProposerMixin,
+    LazyLeaderMixin,
+    SilentMixin,
+    SlowProposerMixin,
+    WithholdFinalizationMixin,
+    WithholdNotarizationMixin,
+    corrupt_class,
+)
+
+__all__ = [
+    "AggressiveByzantineMixin",
+    "ConsistentFailureMixin",
+    "EquivocatingProposerMixin",
+    "LazyLeaderMixin",
+    "SilentMixin",
+    "SlowProposerMixin",
+    "WithholdFinalizationMixin",
+    "WithholdNotarizationMixin",
+    "corrupt_class",
+]

@@ -1,0 +1,178 @@
+"""Byzantine behaviours, as mixins over any ICC party class.
+
+The paper's threat model: up to t < n/3 statically-corrupted parties, fully
+coordinated, from crash failures through arbitrary (Byzantine) behaviour.
+Each mixin implements one concrete attack; :func:`corrupt_class` composes a
+mixin with a base protocol class (ICC0/ICC1/ICC2), so every attack works
+against every protocol variant.
+
+The attacks:
+
+* :class:`SilentMixin` — "refuses to participate" (Table 1, third
+  scenario).  Distinct from a network crash: the node exists but sends
+  nothing.
+* :class:`EquivocatingProposerMixin` — proposes two different blocks and
+  shows each to half the network (exercises the rank-disqualification
+  logic of clause (c)).
+* :class:`WithholdFinalizationMixin` — participates in tree building but
+  never helps finalize (stalls commits until an honest-leader round
+  carries them; experiment E4).
+* :class:`WithholdNotarizationMixin` — never sends notarization shares
+  (reduces effective quorum to the honest parties).
+* :class:`LazyLeaderMixin` — always proposes empty blocks ("at one
+  extreme, a corrupt leader could always propose an empty block",
+  Section 1.1); throughput robustness, experiment E5.
+* :class:`AggressiveByzantineMixin` — signs everything it can: shares
+  notarizations for *every* valid block immediately (ignoring rank
+  priority and delays), finalization-shares every valid block, and
+  equivocates proposals.  Safety must survive this with t < n/3; the
+  safety property tests run it at full strength.
+* :class:`SlowProposerMixin` — delays its proposal by a configurable
+  amount (models a leader behind a slow link).
+"""
+
+from __future__ import annotations
+
+from ..core.icc0 import ICC0Party
+from ..core.messages import Authenticator, Block, EMPTY_PAYLOAD, Payload
+from ..core import messages as msg
+
+
+class SilentMixin:
+    """Corrupt party that never sends or processes anything."""
+
+    def start(self) -> None:  # noqa: D102 - protocol override
+        pass
+
+    def on_receive(self, message: object) -> None:  # noqa: D102
+        pass
+
+
+class ConsistentFailureMixin:
+    """The paper's intermediate corruption class ("consistent failures"):
+    a corrupt party that "behaves in a way that is not conspicuously
+    incorrect" (Section 3.1).
+
+    It follows the protocol faithfully — valid signatures, correct echo
+    behaviour, timely beacon shares — but extracts maximal *passive*
+    advantage: it never proposes blocks (keeping its payload slot useless)
+    and never contributes finalization shares (delaying commits), neither
+    of which any other party can attribute to it as provable misbehaviour.
+    """
+
+    def _clause_b_propose(self) -> bool:  # noqa: D102
+        self.proposed = True  # pretend we already proposed; send nothing
+        return False
+
+    def _send_finalization_share(self, block: Block) -> None:  # noqa: D102
+        self.metrics.count("finalization-shares-withheld")
+
+
+class WithholdFinalizationMixin:
+    """Never contribute finalization shares."""
+
+    def _send_finalization_share(self, block: Block) -> None:  # noqa: D102
+        self.metrics.count("finalization-shares-withheld")
+
+
+class WithholdNotarizationMixin:
+    """Never contribute notarization shares (but still echo and propose)."""
+
+    def _send_notarization_share(self, block: Block) -> None:  # noqa: D102
+        self.metrics.count("notarization-shares-withheld")
+
+
+class LazyLeaderMixin:
+    """Propose syntactically-valid but empty blocks regardless of load."""
+
+    def _make_payload(self, round: int, chain: list[Block]) -> Payload:  # noqa: D102
+        return EMPTY_PAYLOAD
+
+
+class SlowProposerMixin:
+    """Delay own proposals by ``propose_lag`` simulated seconds."""
+
+    propose_lag: float = 5.0
+
+    def _clause_b_propose(self) -> bool:  # noqa: D102
+        if self.sim.now < self.round_start + self.propose_lag:
+            self._schedule_wake(self.round_start + self.propose_lag)
+            return False
+        return super()._clause_b_propose()
+
+
+class EquivocatingProposerMixin:
+    """Propose two conflicting blocks; show each to half the parties."""
+
+    def _clause_b_propose(self) -> bool:  # noqa: D102
+        k = self.round
+        if self.proposed:
+            return False
+        if self.sim.now < self.round_start + self.delays.prop(self.my_rank):
+            return False
+        parents = self.pool.notarized_blocks(k - 1)
+        if not parents:
+            return False
+        parent = min(parents, key=lambda b: b.hash)
+        chain = self.pool.chain_suffix(parent.hash)
+        base_payload = self._make_payload(k, chain)
+        twins = []
+        for tag in (b"equivocation/a", b"equivocation/b"):
+            payload = Payload(
+                commands=base_payload.commands + (tag,),
+                filler_bytes=base_payload.filler_bytes,
+            )
+            block = Block(
+                round=k, proposer=self.index, parent_hash=parent.hash, payload=payload
+            )
+            signed = msg.authenticator_message(k, self.index, block.hash)
+            auth = Authenticator(
+                round=k,
+                proposer=self.index,
+                block_hash=block.hash,
+                signature=self.keys.sign_auth(signed),
+            )
+            twins.append((block, auth))
+        parent_notz = self.pool.notarization_of(parent.hash) if k > 1 else None
+        half = self.params.n // 2
+        for receiver in range(1, self.params.n + 1):
+            block, auth = twins[0] if receiver <= half else twins[1]
+            self.network.send(self.index, receiver, block, round=k)
+            self.network.send(self.index, receiver, auth, round=k)
+            if parent_notz is not None:
+                self.network.send(self.index, receiver, parent_notz, round=k)
+        self.metrics.count("equivocating-proposals")
+        self.proposed = True
+        return True
+
+
+class AggressiveByzantineMixin(EquivocatingProposerMixin):
+    """Maximal protocol-level misbehaviour: sign everything, equivocate.
+
+    Ignores rank priority, Δntry delays, the one-share-per-rank rule, and
+    the N ⊆ {B} finalization guard.  Cannot forge signatures (the paper
+    assumes secure cryptography) — every other rule is broken.
+    """
+
+    def _clause_c_echo_and_share(self) -> bool:  # noqa: D102
+        k = self.round
+        changed = False
+        for block in self.pool.valid_blocks(k):
+            if block.hash in self.notar_shared:
+                continue
+            self.notar_shared[block.hash] = self._block_rank(block)
+            self._send_notarization_share(block)
+            # Also finalization-share it — honest parties never would here.
+            self._send_finalization_share(block)
+            changed = True
+        return changed
+
+
+def corrupt_class(base: type[ICC0Party], *mixins: type) -> type[ICC0Party]:
+    """Compose Byzantine mixins with a protocol base class.
+
+    Example: ``corrupt_class(ICC1Party, EquivocatingProposerMixin)`` yields
+    an equivocating proposer that speaks the ICC1 gossip substrate.
+    """
+    name = "".join(m.__name__.replace("Mixin", "") for m in mixins) + base.__name__
+    return type(name, (*mixins, base), {})

@@ -1,0 +1,33 @@
+"""Analytical models from the paper, for theory-vs-simulation validation."""
+
+from .theory import (
+    blocks_per_second,
+    icc0_bytes_per_party_per_round,
+    commit_gap_quantile,
+    commit_latency_synchronous,
+    corrupt_leader_probability,
+    dissemination_bottleneck,
+    expected_commit_gap,
+    expected_first_honest_rank,
+    first_honest_rank_distribution,
+    round_duration_synchronous,
+    round_duration_with_silent_parties,
+    synchronous_messages_per_round,
+    worst_case_messages_per_round,
+)
+
+__all__ = [
+    "blocks_per_second",
+    "icc0_bytes_per_party_per_round",
+    "commit_gap_quantile",
+    "commit_latency_synchronous",
+    "corrupt_leader_probability",
+    "dissemination_bottleneck",
+    "expected_commit_gap",
+    "expected_first_honest_rank",
+    "first_honest_rank_distribution",
+    "round_duration_synchronous",
+    "round_duration_with_silent_parties",
+    "synchronous_messages_per_round",
+    "worst_case_messages_per_round",
+]

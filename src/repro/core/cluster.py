@@ -1,0 +1,199 @@
+"""Cluster assembly: wire parties, keys, network and simulator together.
+
+Every test, example and benchmark builds its runs through
+:func:`build_cluster`, so experiment setup is uniform and fully seeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Callable, Sequence
+
+from ..crypto.keyring import Keyring, generate_keyrings
+from ..sim.delays import DelayModel, FixedDelay
+from ..sim.metrics import Metrics
+from ..sim.network import Network
+from ..sim.simulator import Simulation
+from .icc0 import ICC0Party, PayloadSource, empty_payload_source
+from .params import ProtocolParams, StandardDelays
+
+#: Builds one party; adversarial behaviours provide alternatives.
+PartyFactory = Callable[..., ICC0Party]
+
+
+@dataclass
+class ClusterConfig:
+    """Declarative description of one simulation run."""
+
+    n: int
+    t: int = 0
+    delta_bound: float = 1.0
+    epsilon: float = 0.05
+    seed: int = 0
+    crypto_backend: str = "fast"
+    group_profile: str = "test"
+    max_rounds: int | None = None
+    gc_depth: int | None = None  # pool pruning depth; None keeps everything
+    delay_model: DelayModel | None = None  # default FixedDelay(0.1)
+    #: Override the protocol delay functions (e.g. AdaptiveDelays); when
+    #: None, StandardDelays(delta_bound, epsilon) is used.
+    protocol_delays: object | None = None
+    payload_source: PayloadSource = empty_payload_source
+    party_class: PartyFactory = ICC0Party
+    #: index -> factory for corrupt parties; None entries mean crash-failure.
+    corrupt: dict[int, PartyFactory | None] = dc_field(default_factory=dict)
+    extra_party_kwargs: dict = dc_field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.corrupt) > self.t:
+            raise ValueError(
+                f"{len(self.corrupt)} corrupt parties declared but t={self.t}"
+            )
+
+
+class Cluster:
+    """A built, ready-to-run simulation of n parties."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        sim: Simulation,
+        network: Network,
+        parties: list[ICC0Party],
+        params: ProtocolParams,
+        keyrings: list[Keyring],
+    ) -> None:
+        self.config = config
+        self.sim = sim
+        self.network = network
+        self.parties = parties
+        self.params = params
+        self.keyrings = keyrings
+
+    @property
+    def metrics(self) -> Metrics:
+        return self.network.metrics
+
+    @property
+    def honest_parties(self) -> list[ICC0Party]:
+        return [p for p in self.parties if p.index not in self.config.corrupt]
+
+    def party(self, index: int) -> ICC0Party:
+        return self.parties[index - 1]
+
+    def start(self) -> None:
+        for party in self.parties:
+            if (
+                party.index in self.config.corrupt
+                and self.config.corrupt[party.index] is None
+            ):
+                continue  # crash-failures never even start
+            party.start()
+
+    def run_for(self, seconds: float, max_events: int | None = 5_000_000) -> None:
+        self.sim.run(until=self.sim.now + seconds, max_events=max_events)
+
+    def run_until_all_committed_round(
+        self, round: int, timeout: float = 10_000.0, max_events: int | None = 5_000_000
+    ) -> bool:
+        """Run until every honest party has committed through ``round``."""
+        honest = self.honest_parties
+
+        def done() -> bool:
+            return all(p.k_max >= round for p in honest)
+
+        self.sim.run(until=timeout, stop_when=done, max_events=max_events)
+        return done()
+
+    # -- correctness checks used throughout the test-suite ---------------------
+
+    def check_safety(self) -> None:
+        """Assert the prefix property over all honest parties' outputs.
+
+        "if one party has output a sequence s and another has output s',
+        then s must be a prefix of s', or vice versa" (Section 1).
+        """
+        logs = [p.committed_hashes for p in self.honest_parties]
+        reference = max(logs, key=len, default=[])
+        for log in logs:
+            if log != reference[: len(log)]:
+                raise AssertionError("safety violated: committed logs diverge")
+
+    def min_committed_round(self) -> int:
+        return min((p.k_max for p in self.honest_parties), default=0)
+
+    def max_committed_round(self) -> int:
+        return max((p.k_max for p in self.honest_parties), default=0)
+
+
+def build_cluster(config: ClusterConfig, sim: Simulation | None = None) -> Cluster:
+    """Construct a fully wired cluster from a config (nothing runs yet).
+
+    Pass an existing ``sim`` to co-schedule several clusters in one
+    simulation (e.g. multiple subnets coupled by :mod:`repro.smr.xnet`).
+    """
+    if sim is None:
+        sim = Simulation(seed=config.seed)
+    delay_model = config.delay_model if config.delay_model is not None else FixedDelay(0.1)
+    metrics = Metrics(n=config.n)
+    network = Network(sim, config.n, delay_model, metrics)
+    keyrings = generate_keyrings(
+        config.n,
+        config.t,
+        seed=config.seed,
+        backend=config.crypto_backend,
+        group_profile=config.group_profile,
+    )
+    delays = config.protocol_delays
+    if delays is None:
+        delays = StandardDelays(delta_bound=config.delta_bound, epsilon=config.epsilon)
+    params = ProtocolParams(
+        n=config.n,
+        t=config.t,
+        delays=delays,
+        max_rounds=config.max_rounds,
+        gc_depth=config.gc_depth,
+    )
+    parties: list[ICC0Party] = []
+    for i in range(1, config.n + 1):
+        factory = config.corrupt.get(i, config.party_class)
+        if factory is None:  # crash failure: attach a stub that stays silent
+            factory = config.party_class
+        party = factory(
+            index=i,
+            keyring=keyrings[i - 1],
+            params=params,
+            sim=sim,
+            network=network,
+            payload_source=config.payload_source,
+            **config.extra_party_kwargs,
+        )
+        parties.append(party)
+        network.attach(party)
+    for index, factory in config.corrupt.items():
+        if factory is None:
+            network.crash(index)
+    return Cluster(config, sim, network, parties, params, keyrings)
+
+
+def run_happy_path(
+    n: int = 4,
+    rounds: int = 5,
+    delta: float = 0.1,
+    seed: int = 0,
+    **overrides,
+) -> Cluster:
+    """Convenience: run a fault-free cluster for a number of rounds."""
+    config = ClusterConfig(
+        n=n,
+        t=0,
+        delta_bound=delta * 2,
+        delay_model=FixedDelay(delta),
+        max_rounds=rounds + 2,
+        seed=seed,
+        **overrides,
+    )
+    cluster = build_cluster(config)
+    cluster.start()
+    cluster.run_until_all_committed_round(rounds)
+    return cluster

@@ -1,0 +1,104 @@
+"""Accountability: transferable evidence of proposer equivocation.
+
+Section 1.1: "if a leader consistently underperforms ..., the Internet
+Computer provides mechanisms for reconfiguring the set of protocol
+participants ..., by which such a leader can be removed."  Removal needs
+*grounds*.  For the one provably-attributable misbehaviour in ICC —
+proposing two different blocks in one round (the event clause (c)
+punishes with rank disqualification) — the two signed authenticators
+themselves form a self-contained, transferable proof: anyone holding both
+can verify the same party signed two distinct round-k blocks, without
+trusting the accuser.
+
+:class:`EquivocationMonitor` watches a party's pool for conflicting
+authenticators and collects :class:`EquivocationEvidence` records; the
+``verify_evidence`` function is what a governance layer (out of scope
+here, as in the paper) would check before removing the culprit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto.keyring import Keyring
+from . import messages as msg
+from .icc0 import ICC0Party
+from .messages import Authenticator
+
+
+@dataclass(frozen=True)
+class EquivocationEvidence:
+    """Two valid authenticators by one proposer for one round.
+
+    Self-certifying: verification needs only public keys.
+    """
+
+    round: int
+    proposer: int
+    first: Authenticator = field(compare=False)
+    second: Authenticator = field(compare=False)
+
+    def wire_size(self) -> int:
+        return 12 + self.first.wire_size() + self.second.wire_size()
+
+
+def verify_evidence(keys: Keyring, evidence: EquivocationEvidence) -> bool:
+    """Check that the evidence proves equivocation by ``proposer``."""
+    a, b = evidence.first, evidence.second
+    if a.block_hash == b.block_hash:
+        return False  # same block twice proves nothing
+    for auth in (a, b):
+        if auth.round != evidence.round or auth.proposer != evidence.proposer:
+            return False
+        signed = msg.authenticator_message(auth.round, auth.proposer, auth.block_hash)
+        if not keys.verify_auth(auth.proposer, signed, auth.signature):
+            return False
+    return True
+
+
+class EquivocationMonitor:
+    """Collects equivocation evidence from a party's message stream."""
+
+    def __init__(self, party: ICC0Party) -> None:
+        self.party = party
+        self.evidence: list[EquivocationEvidence] = []
+        self._seen: dict[tuple[int, int], Authenticator] = {}
+        self._reported: set[tuple[int, int]] = set()
+        # Wrap the party's ingress so every verified authenticator passes
+        # through the monitor (duck-typed interception keeps the protocol
+        # classes free of accountability concerns).
+        self._original_on_receive = party.on_receive
+        party.on_receive = self._on_receive  # type: ignore[method-assign]
+
+    def _on_receive(self, message: object) -> None:
+        if isinstance(message, Authenticator):
+            self._inspect(message)
+        self._original_on_receive(message)
+
+    def _inspect(self, auth: Authenticator) -> None:
+        signed = msg.authenticator_message(auth.round, auth.proposer, auth.block_hash)
+        if not self.party.keys.verify_auth(auth.proposer, signed, auth.signature):
+            return  # unverifiable claims are not evidence
+        key = (auth.round, auth.proposer)
+        previous = self._seen.get(key)
+        if previous is None:
+            self._seen[key] = auth
+            return
+        if previous.block_hash == auth.block_hash or key in self._reported:
+            return
+        self._reported.add(key)
+        self.evidence.append(
+            EquivocationEvidence(
+                round=auth.round, proposer=auth.proposer, first=previous, second=auth
+            )
+        )
+        self.party.metrics.count("equivocation-evidence")
+
+    def culprits(self) -> set[int]:
+        """Parties with at least one verified equivocation on record."""
+        return {e.proposer for e in self.evidence}
+
+
+def attach_monitors(cluster) -> list[EquivocationMonitor]:
+    """One monitor per honest party; returns them in party order."""
+    return [EquivocationMonitor(party) for party in cluster.honest_parties]

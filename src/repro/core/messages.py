@@ -1,0 +1,290 @@
+"""Protocol messages and block structures (Section 3.4 of the paper).
+
+Every artifact exchanged by the ICC protocols is defined here:
+
+* :class:`Block` — (block, k, α, phash, payload), plus the ``root`` sentinel;
+* :class:`Authenticator` — the proposer's S_auth signature binding a block;
+* :class:`NotarizationShare` / :class:`Notarization`;
+* :class:`FinalizationShare` / :class:`Finalization`;
+* :class:`BeaconShare` — a threshold-signature share of the random beacon.
+
+Each message reports a ``wire_size()`` modelled on the *production* system's
+BLS object sizes (48-byte signatures/shares, 32-byte hashes), so traffic
+metrics reflect what the deployed protocol sends, independent of the Python
+simulation's internal representation.  Each message also has a ``kind``
+string used as the metrics label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from ..crypto.hashing import DIGEST_SIZE, tagged_hash
+
+# -- wire-size model constants (bytes) ----------------------------------------
+SIG_SIZE = 48  # a BLS signature or signature share
+AGG_DESCRIPTOR_SIZE = 8  # compressed signatory bitmap of a multi-signature
+ROUND_SIZE = 8
+INDEX_SIZE = 4
+TAG_SIZE = 1
+
+#: Proposer index used for the root sentinel (no party has index 0).
+ROOT_PROPOSER = 0
+
+
+@dataclass(frozen=True)
+class Payload:
+    """Application content of a block.
+
+    ``commands`` are opaque byte strings fed in by clients (the atomic
+    broadcast inputs).  ``filler_bytes`` lets benchmarks model large blocks
+    (the paper: "a block's payload may typically be a few megabytes")
+    without materialising megabytes per message in RAM.
+    """
+
+    commands: tuple[bytes, ...] = ()
+    filler_bytes: int = 0
+
+    def wire_size(self) -> int:
+        return 4 + sum(4 + len(c) for c in self.commands) + self.filler_bytes
+
+    @cached_property
+    def digest(self) -> bytes:
+        return tagged_hash(
+            "ICC/payload",
+            self.filler_bytes.to_bytes(8, "big"),
+            *self.commands,
+        )
+
+
+EMPTY_PAYLOAD = Payload()
+
+
+@dataclass(frozen=True)
+class Block:
+    """A round-k block: (block, k, α, phash, payload)."""
+
+    round: int
+    proposer: int  # α, 1-based party index (0 reserved for root)
+    parent_hash: bytes
+    payload: Payload
+
+    kind = "block"
+
+    @cached_property
+    def hash(self) -> bytes:
+        """H(B): the collision-resistant block hash used everywhere."""
+        return tagged_hash(
+            "ICC/block",
+            self.round.to_bytes(ROUND_SIZE, "big"),
+            self.proposer.to_bytes(INDEX_SIZE, "big"),
+            self.parent_hash,
+            self.payload.digest,
+        )
+
+    def wire_size(self) -> int:
+        return (
+            TAG_SIZE
+            + ROUND_SIZE
+            + INDEX_SIZE
+            + DIGEST_SIZE
+            + self.payload.wire_size()
+        )
+
+
+def make_root() -> Block:
+    """The special genesis block (round 0, depth 0, empty payload).
+
+    The paper treats ``root`` as its own authenticator, notarization and
+    finalization; the pool special-cases its hash accordingly.
+    """
+    return Block(
+        round=0,
+        proposer=ROOT_PROPOSER,
+        parent_hash=b"\x00" * DIGEST_SIZE,
+        payload=EMPTY_PAYLOAD,
+    )
+
+
+ROOT_BLOCK = make_root()
+ROOT_HASH = ROOT_BLOCK.hash
+
+
+# -- canonical signed byte strings ------------------------------------------------
+# Section 3.4 defines the exact tuples each signature covers.
+
+
+def authenticator_message(round: int, proposer: int, block_hash: bytes) -> bytes:
+    return tagged_hash(
+        "ICC/msg/authenticator",
+        round.to_bytes(ROUND_SIZE, "big"),
+        proposer.to_bytes(INDEX_SIZE, "big"),
+        block_hash,
+    )
+
+
+def notarization_message(round: int, proposer: int, block_hash: bytes) -> bytes:
+    return tagged_hash(
+        "ICC/msg/notarization",
+        round.to_bytes(ROUND_SIZE, "big"),
+        proposer.to_bytes(INDEX_SIZE, "big"),
+        block_hash,
+    )
+
+
+def finalization_message(round: int, proposer: int, block_hash: bytes) -> bytes:
+    return tagged_hash(
+        "ICC/msg/finalization",
+        round.to_bytes(ROUND_SIZE, "big"),
+        proposer.to_bytes(INDEX_SIZE, "big"),
+        block_hash,
+    )
+
+
+def beacon_message(round: int, previous_value: bytes) -> bytes:
+    """The message threshold-signed to produce beacon value R_round.
+
+    The paper signs R_{k-1} directly; we additionally bind the round number
+    for domain separation (a strict strengthening — it rules out cross-round
+    replay even if a beacon value ever repeated).
+    """
+    return tagged_hash(
+        "ICC/msg/beacon", round.to_bytes(ROUND_SIZE, "big"), previous_value
+    )
+
+
+#: R_0 — the fixed, publicly-known initial beacon value.
+GENESIS_BEACON = tagged_hash("ICC/beacon/genesis")
+
+
+# -- signature-carrying messages ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BlockId:
+    """The (round, proposer, hash) triple that identifies a block."""
+
+    round: int
+    proposer: int
+    block_hash: bytes
+
+
+@dataclass(frozen=True)
+class Authenticator:
+    """(authenticator, k, α, H(B), σ) — σ is P_α's S_auth signature."""
+
+    round: int
+    proposer: int
+    block_hash: bytes
+    signature: object = field(compare=False)
+
+    kind = "authenticator"
+
+    def block_id(self) -> BlockId:
+        return BlockId(self.round, self.proposer, self.block_hash)
+
+    def wire_size(self) -> int:
+        return TAG_SIZE + ROUND_SIZE + INDEX_SIZE + DIGEST_SIZE + SIG_SIZE
+
+
+@dataclass(frozen=True)
+class NotarizationShare:
+    """(notarization-share, k, α, H(B), ns, β) — β's S_notary share."""
+
+    round: int
+    proposer: int
+    block_hash: bytes
+    signer: int  # β
+    share: object = field(compare=False)
+
+    kind = "notarization-share"
+
+    def block_id(self) -> BlockId:
+        return BlockId(self.round, self.proposer, self.block_hash)
+
+    def wire_size(self) -> int:
+        return TAG_SIZE + ROUND_SIZE + 2 * INDEX_SIZE + DIGEST_SIZE + SIG_SIZE
+
+
+@dataclass(frozen=True)
+class Notarization:
+    """(notarization, k, α, H(B), σ) — σ an aggregated S_notary signature."""
+
+    round: int
+    proposer: int
+    block_hash: bytes
+    aggregate: object = field(compare=False)
+
+    kind = "notarization"
+
+    def block_id(self) -> BlockId:
+        return BlockId(self.round, self.proposer, self.block_hash)
+
+    def wire_size(self) -> int:
+        return (
+            TAG_SIZE
+            + ROUND_SIZE
+            + INDEX_SIZE
+            + DIGEST_SIZE
+            + SIG_SIZE
+            + AGG_DESCRIPTOR_SIZE
+        )
+
+
+@dataclass(frozen=True)
+class FinalizationShare:
+    """(finalization-share, k, α, H(B), fs, β)."""
+
+    round: int
+    proposer: int
+    block_hash: bytes
+    signer: int
+    share: object = field(compare=False)
+
+    kind = "finalization-share"
+
+    def block_id(self) -> BlockId:
+        return BlockId(self.round, self.proposer, self.block_hash)
+
+    def wire_size(self) -> int:
+        return TAG_SIZE + ROUND_SIZE + 2 * INDEX_SIZE + DIGEST_SIZE + SIG_SIZE
+
+
+@dataclass(frozen=True)
+class Finalization:
+    """(finalization, k, α, H(B), σ)."""
+
+    round: int
+    proposer: int
+    block_hash: bytes
+    aggregate: object = field(compare=False)
+
+    kind = "finalization"
+
+    def block_id(self) -> BlockId:
+        return BlockId(self.round, self.proposer, self.block_hash)
+
+    def wire_size(self) -> int:
+        return (
+            TAG_SIZE
+            + ROUND_SIZE
+            + INDEX_SIZE
+            + DIGEST_SIZE
+            + SIG_SIZE
+            + AGG_DESCRIPTOR_SIZE
+        )
+
+
+@dataclass(frozen=True)
+class BeaconShare:
+    """A party's threshold-signature share of the round-k beacon."""
+
+    round: int
+    signer: int
+    share: object = field(compare=False)
+
+    kind = "beacon-share"
+
+    def wire_size(self) -> int:
+        return TAG_SIZE + ROUND_SIZE + INDEX_SIZE + SIG_SIZE

@@ -1,0 +1,122 @@
+"""Protocol parameters and the delay functions of Section 3.5.
+
+The Tree-Building subprotocol is driven by two non-decreasing delay
+functions over ranks r in [n]:
+
+* ``Δprop(r)`` — how long a party of rank r waits before proposing;
+* ``Δntry(r)`` — how long parties wait before notarization-sharing a block
+  of rank r.
+
+Liveness needs 2δ + Δprop(0) <= Δntry(1) whenever the network delay during
+the round is bounded by δ.  The paper's recommended instantiation (eq. (2))
+is Δprop(r) = 2·Δbnd·r and Δntry(r) = 2·Δbnd·r + ε, which these classes
+implement; both are injectable so experiments can explore alternatives
+(including the adaptive-Δbnd variant discussed in Section 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+DelayFunction = Callable[[int], float]
+
+
+@dataclass(frozen=True)
+class StandardDelays:
+    """The recommended delay functions from eq. (2) of the paper.
+
+    ``epsilon`` is the "governor": it may be zero, but a non-zero value
+    keeps the protocol from running "too fast" in the sense discussed in
+    Section 3.5 (it also spaces out the notarization-entry times of
+    candidate blocks of successive ranks).
+    """
+
+    delta_bound: float
+    epsilon: float = 0.0
+
+    def prop(self, rank: int) -> float:
+        return 2.0 * self.delta_bound * rank
+
+    def ntry(self, rank: int) -> float:
+        return 2.0 * self.delta_bound * rank + self.epsilon
+
+
+@dataclass
+class AdaptiveDelays:
+    """Delay functions that adapt to an unknown Δbnd (Section 1).
+
+    The paper notes ICC can "adaptively adjust to an unknown
+    communication-delay bound", with care.  The standard safe scheme is
+    exponential back-off on the bound: if a round fails to produce a
+    notarized leader block, the local estimate doubles (up to a cap), and
+    it decays multiplicatively on success.  This keeps liveness: once the
+    estimate exceeds the true Δbnd during a synchronous period, an
+    honest-leader round finalizes.
+    """
+
+    initial_bound: float
+    max_bound: float = 60.0
+    growth: float = 2.0
+    decay: float = 0.9
+    epsilon: float = 0.0
+    current_bound: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.current_bound = self.initial_bound
+
+    def prop(self, rank: int) -> float:
+        return 2.0 * self.current_bound * rank
+
+    def ntry(self, rank: int) -> float:
+        return 2.0 * self.current_bound * rank + self.epsilon
+
+    def on_round_result(self, leader_block_notarized: bool) -> None:
+        """Feed back whether the round's rank-0 block got notarized."""
+        if leader_block_notarized:
+            self.current_bound = max(
+                self.initial_bound, self.current_bound * self.decay
+            )
+        else:
+            self.current_bound = min(self.max_bound, self.current_bound * self.growth)
+
+
+@dataclass
+class ProtocolParams:
+    """Everything an ICC party needs to know besides its keys.
+
+    ``n`` parties, at most ``t`` corrupt (t < n/3); quorum ``n - t`` for
+    notarization/finalization and ``t + 1`` for the beacon, per Section 3.2.
+    """
+
+    n: int
+    t: int
+    delays: StandardDelays | AdaptiveDelays
+    max_rounds: int | None = None  # stop participating after this round
+    #: When set, parties prune pool artifacts older than k_max - gc_depth
+    #: after each commit (the checkpointing/garbage-collection optimization
+    #: the paper defers to implementations).  None = keep everything.
+    gc_depth: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("need at least one party")
+        if self.t < 0 or (self.t > 0 and 3 * self.t >= self.n):
+            raise ValueError(f"require t < n/3 (n={self.n}, t={self.t})")
+
+    @property
+    def notarization_quorum(self) -> int:
+        return self.n - self.t
+
+    @property
+    def finalization_quorum(self) -> int:
+        return self.n - self.t
+
+    @property
+    def beacon_quorum(self) -> int:
+        return self.t + 1
+
+
+def max_faults(n: int) -> int:
+    """Largest t with 3t < n — the optimal resilience bound [4]."""
+    return (n - 1) // 3

@@ -1,0 +1,456 @@
+"""The per-party message pool and the block predicates of Section 3.4.
+
+"Each party has a pool which holds the set of all messages received from all
+parties (including itself)" (Section 3.1).  The pool verifies each message's
+cryptography on arrival (invalid messages are dropped and counted), indexes
+artifacts by block and round, and incrementally maintains the paper's four
+block classifications:
+
+* **authentic** — a valid authenticator for the block is present;
+* **valid**     — authentic, and the parent is present and *notarized*;
+* **notarized** — valid, and a notarization is present;
+* **finalized** — valid, and a finalization is present.
+
+``root`` is always authentic/valid/notarized/finalized.  Because validity is
+recursive through parents, the pool propagates state changes through a
+child index rather than re-scanning (a notarization arriving for a parent
+may make a whole subtree of buffered children valid).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..crypto.keyring import Keyring
+from . import messages as msg
+from .messages import (
+    Authenticator,
+    BeaconShare,
+    Block,
+    Finalization,
+    FinalizationShare,
+    GENESIS_BEACON,
+    Notarization,
+    NotarizationShare,
+    ROOT_BLOCK,
+    ROOT_HASH,
+)
+
+
+@dataclass
+class PoolStats:
+    """Counters for dropped / duplicate messages (robustness diagnostics)."""
+
+    invalid_dropped: int = 0
+    duplicates: int = 0
+    buffered_beacon_shares: int = 0
+
+
+class MessagePool:
+    """Verified message store for one party."""
+
+    def __init__(self, keyring: Keyring) -> None:
+        self._keys = keyring
+        self.n = keyring.n
+        self.t = keyring.t
+        self.stats = PoolStats()
+
+        self.blocks: dict[bytes, Block] = {ROOT_HASH: ROOT_BLOCK}
+        self._children: dict[bytes, set[bytes]] = defaultdict(set)
+        self._blocks_by_round: dict[int, set[bytes]] = defaultdict(set)
+
+        self._authentic: set[bytes] = {ROOT_HASH}
+        self._authenticators: dict[bytes, Authenticator] = {}
+        self._valid: set[bytes] = {ROOT_HASH}
+        self._notarized: set[bytes] = {ROOT_HASH}
+        self._finalized: set[bytes] = {ROOT_HASH}
+
+        self._notarizations: dict[bytes, Notarization] = {}
+        self._finalizations: dict[bytes, Finalization] = {}
+        self._notar_shares: dict[bytes, dict[int, NotarizationShare]] = defaultdict(dict)
+        self._final_shares: dict[bytes, dict[int, FinalizationShare]] = defaultdict(dict)
+
+        # Random-beacon state.  beacon value of round 0 is the genesis value.
+        self.beacon_values: dict[int, bytes] = {0: GENESIS_BEACON}
+        self._beacon_shares: dict[int, dict[int, BeaconShare]] = defaultdict(dict)
+        self._pending_beacon_shares: dict[int, list[BeaconShare]] = defaultdict(list)
+
+    # -- ingestion ---------------------------------------------------------
+
+    def add(self, message: object) -> bool:
+        """Verify and store a message; returns True if it changed the pool."""
+        if isinstance(message, Block):
+            return self._add_block(message)
+        if isinstance(message, Authenticator):
+            return self._add_authenticator(message)
+        if isinstance(message, NotarizationShare):
+            return self._add_notar_share(message)
+        if isinstance(message, Notarization):
+            return self._add_notarization(message)
+        if isinstance(message, FinalizationShare):
+            return self._add_final_share(message)
+        if isinstance(message, Finalization):
+            return self._add_finalization(message)
+        if isinstance(message, BeaconShare):
+            return self._add_beacon_share(message)
+        raise TypeError(f"pool cannot hold {type(message).__name__}")
+
+    def _add_block(self, block: Block) -> bool:
+        if block.round < 1 or not 1 <= block.proposer <= self.n:
+            self.stats.invalid_dropped += 1
+            return False
+        h = block.hash
+        if h in self.blocks:
+            self.stats.duplicates += 1
+            return False
+        self.blocks[h] = block
+        self._blocks_by_round[block.round].add(h)
+        self._children[block.parent_hash].add(h)
+        self._try_validate(h)
+        return True
+
+    def _add_authenticator(self, auth: Authenticator) -> bool:
+        if auth.block_hash in self._authentic:
+            self.stats.duplicates += 1
+            return False
+        signed = msg.authenticator_message(auth.round, auth.proposer, auth.block_hash)
+        if not self._keys.verify_auth(auth.proposer, signed, auth.signature):
+            self.stats.invalid_dropped += 1
+            return False
+        self._authentic.add(auth.block_hash)
+        self._authenticators[auth.block_hash] = auth
+        self._try_validate(auth.block_hash)
+        return True
+
+    def _add_notar_share(self, share: NotarizationShare) -> bool:
+        existing = self._notar_shares[share.block_hash]
+        if share.signer in existing:
+            self.stats.duplicates += 1
+            return False
+        signed = msg.notarization_message(share.round, share.proposer, share.block_hash)
+        if (
+            self._keys.share_index(share.share) != share.signer
+            or not self._keys.verify_notary_share(signed, share.share)
+        ):
+            self.stats.invalid_dropped += 1
+            return False
+        existing[share.signer] = share
+        return True
+
+    def _add_notarization(self, notarization: Notarization) -> bool:
+        if notarization.block_hash in self._notarizations:
+            self.stats.duplicates += 1
+            return False
+        signed = msg.notarization_message(
+            notarization.round, notarization.proposer, notarization.block_hash
+        )
+        if not self._keys.verify_notary(signed, notarization.aggregate):
+            self.stats.invalid_dropped += 1
+            return False
+        self._notarizations[notarization.block_hash] = notarization
+        self._try_notarize(notarization.block_hash)
+        return True
+
+    def _add_final_share(self, share: FinalizationShare) -> bool:
+        existing = self._final_shares[share.block_hash]
+        if share.signer in existing:
+            self.stats.duplicates += 1
+            return False
+        signed = msg.finalization_message(share.round, share.proposer, share.block_hash)
+        if (
+            self._keys.share_index(share.share) != share.signer
+            or not self._keys.verify_final_share(signed, share.share)
+        ):
+            self.stats.invalid_dropped += 1
+            return False
+        existing[share.signer] = share
+        return True
+
+    def _add_finalization(self, finalization: Finalization) -> bool:
+        if finalization.block_hash in self._finalizations:
+            self.stats.duplicates += 1
+            return False
+        signed = msg.finalization_message(
+            finalization.round, finalization.proposer, finalization.block_hash
+        )
+        if not self._keys.verify_final(signed, finalization.aggregate):
+            self.stats.invalid_dropped += 1
+            return False
+        self._finalizations[finalization.block_hash] = finalization
+        self._try_finalize(finalization.block_hash)
+        return True
+
+    def _add_beacon_share(self, share: BeaconShare) -> bool:
+        if share.round < 1:
+            self.stats.invalid_dropped += 1
+            return False
+        if share.signer in self._beacon_shares[share.round]:
+            self.stats.duplicates += 1
+            return False
+        previous = self.beacon_values.get(share.round - 1)
+        if previous is None:
+            # Cannot verify until R_{k-1} is known; buffer for later.
+            self._pending_beacon_shares[share.round].append(share)
+            self.stats.buffered_beacon_shares += 1
+            return True
+        return self._verify_and_store_beacon_share(share, previous)
+
+    def _verify_and_store_beacon_share(self, share: BeaconShare, previous: bytes) -> bool:
+        signed = msg.beacon_message(share.round, previous)
+        if (
+            self._keys.share_index(share.share) != share.signer
+            or not self._keys.verify_beacon_share(signed, share.share)
+        ):
+            self.stats.invalid_dropped += 1
+            return False
+        self._beacon_shares[share.round][share.signer] = share
+        return True
+
+    # -- state propagation ----------------------------------------------------
+
+    def _try_validate(self, h: bytes) -> None:
+        if h in self._valid or h not in self._authentic:
+            return
+        block = self.blocks.get(h)
+        if block is None:
+            return
+        if block.parent_hash not in self._notarized:
+            return
+        self._valid.add(h)
+        self._try_notarize(h)
+        self._try_finalize(h)
+
+    def _try_notarize(self, h: bytes) -> None:
+        if h in self._notarized or h not in self._valid or h not in self._notarizations:
+            return
+        self._notarized.add(h)
+        for child in self._children.get(h, ()):
+            self._try_validate(child)
+
+    def _try_finalize(self, h: bytes) -> None:
+        if h in self._finalized or h not in self._valid or h not in self._finalizations:
+            return
+        self._finalized.add(h)
+
+    # -- predicates (Section 3.4) ------------------------------------------------
+
+    def is_authentic(self, h: bytes) -> bool:
+        return h in self._authentic
+
+    def is_valid(self, h: bytes) -> bool:
+        return h in self._valid
+
+    def is_notarized(self, h: bytes) -> bool:
+        return h in self._notarized
+
+    def is_finalized(self, h: bytes) -> bool:
+        return h in self._finalized
+
+    # -- queries used by the protocol loops ----------------------------------------
+
+    def valid_blocks(self, round: int) -> list[Block]:
+        return [
+            self.blocks[h]
+            for h in self._blocks_by_round.get(round, ())
+            if h in self._valid
+        ]
+
+    def notarized_blocks(self, round: int) -> list[Block]:
+        if round == 0:
+            return [ROOT_BLOCK]
+        return [
+            self.blocks[h]
+            for h in self._blocks_by_round.get(round, ())
+            if h in self._notarized
+        ]
+
+    def finalized_blocks(self, round: int) -> list[Block]:
+        return [
+            self.blocks[h]
+            for h in self._blocks_by_round.get(round, ())
+            if h in self._finalized
+        ]
+
+    def authenticator_of(self, h: bytes) -> Authenticator | None:
+        return self._authenticators.get(h)
+
+    def notarization_of(self, h: bytes) -> Notarization | None:
+        return self._notarizations.get(h)
+
+    def finalization_of(self, h: bytes) -> Finalization | None:
+        return self._finalizations.get(h)
+
+    def notar_share_count(self, h: bytes) -> int:
+        return len(self._notar_shares.get(h, ()))
+
+    def notar_shares(self, h: bytes) -> list[NotarizationShare]:
+        return list(self._notar_shares.get(h, {}).values())
+
+    def final_share_count(self, h: bytes) -> int:
+        return len(self._final_shares.get(h, ()))
+
+    def final_shares(self, h: bytes) -> list[FinalizationShare]:
+        return list(self._final_shares.get(h, {}).values())
+
+    def combinable_notarization(self, round: int, quorum: int) -> Block | None:
+        """A valid, non-notarized round-k block with >= quorum notar shares."""
+        for h in self._blocks_by_round.get(round, ()):
+            if h in self._valid and h not in self._notarized:
+                if len(self._notar_shares.get(h, ())) >= quorum:
+                    return self.blocks[h]
+        return None
+
+    def combinable_finalization(self, round: int, quorum: int) -> Block | None:
+        """A valid, non-finalized round-k block with >= quorum final shares."""
+        for h in self._blocks_by_round.get(round, ()):
+            if h in self._valid and h not in self._finalized:
+                if len(self._final_shares.get(h, ())) >= quorum:
+                    return self.blocks[h]
+        return None
+
+    def rounds_with_final_activity(self) -> list[int]:
+        """Rounds that have any finalization or finalization share."""
+        rounds = {
+            self.blocks[h].round
+            for h in self._finalized
+            if h != ROOT_HASH
+        }
+        rounds.update(s.round for shares in self._final_shares.values() for s in shares.values())
+        return sorted(rounds)
+
+    def chain(self, h: bytes) -> list[Block]:
+        """Blocks from root (exclusive) to the block with hash ``h``."""
+        out: list[Block] = []
+        cursor = h
+        while cursor != ROOT_HASH:
+            block = self.blocks.get(cursor)
+            if block is None:
+                raise KeyError("chain broken: missing ancestor block")
+            out.append(block)
+            cursor = block.parent_hash
+        out.reverse()
+        return out
+
+    def chain_suffix(self, h: bytes) -> list[Block]:
+        """Like :meth:`chain`, but tolerates garbage-collected ancestry:
+        returns the contiguous suffix of the chain still present in the
+        pool (possibly the whole chain)."""
+        out: list[Block] = []
+        cursor = h
+        while cursor != ROOT_HASH:
+            block = self.blocks.get(cursor)
+            if block is None:
+                break
+            out.append(block)
+            cursor = block.parent_hash
+        out.reverse()
+        return out
+
+    # -- beacon ---------------------------------------------------------------
+
+    def beacon_share_count(self, round: int) -> int:
+        return len(self._beacon_shares.get(round, ()))
+
+    def beacon_shares_for(self, round: int) -> list[BeaconShare]:
+        return list(self._beacon_shares.get(round, {}).values())
+
+    def set_beacon_value(self, round: int, value: bytes) -> None:
+        """Record R_round and verify any buffered shares for round+1."""
+        if round in self.beacon_values:
+            return
+        self.beacon_values[round] = value
+        pending = self._pending_beacon_shares.pop(round + 1, [])
+        for share in pending:
+            if share.signer not in self._beacon_shares[share.round]:
+                self._verify_and_store_beacon_share(share, value)
+
+    def beacon_value(self, round: int) -> bytes | None:
+        return self.beacon_values.get(round)
+
+    # -- catch-up support ---------------------------------------------------------
+
+    def install_anchor(
+        self, block: Block, auth: Authenticator, notarization: Notarization
+    ) -> bool:
+        """Install a block as notarized *without* requiring its ancestry.
+
+        Used by the catch-up subprotocol when the ancestry was pruned
+        network-wide: the notarization itself certifies that n-t parties
+        validated the block, which is the same quorum evidence ordinary
+        validation bottoms out in.  All signatures are still verified.
+        Returns False (installing nothing) on any verification failure.
+        """
+        if block.round < 1 or not 1 <= block.proposer <= self.n:
+            return False
+        if auth.block_hash != block.hash or notarization.block_hash != block.hash:
+            return False
+        signed_auth = msg.authenticator_message(block.round, block.proposer, block.hash)
+        if not self._keys.verify_auth(block.proposer, signed_auth, auth.signature):
+            return False
+        signed_notz = msg.notarization_message(block.round, block.proposer, block.hash)
+        if not self._keys.verify_notary(signed_notz, notarization.aggregate):
+            return False
+        h = block.hash
+        self.blocks[h] = block
+        self._blocks_by_round[block.round].add(h)
+        self._children[block.parent_hash].add(h)
+        self._authentic.add(h)
+        self._authenticators[h] = auth
+        self._valid.add(h)
+        self._notarizations[h] = notarization
+        self._notarized.add(h)
+        for child in self._children.get(h, ()):
+            self._try_validate(child)
+        return True
+
+    # -- garbage collection ------------------------------------------------------
+
+    def prune(self, before_round: int) -> int:
+        """Discard all artifacts for rounds < ``before_round``.
+
+        The paper keeps pools append-only for presentation and notes that a
+        practical implementation discards messages that are no longer
+        relevant (Section 3.1).  Safe once the caller has committed through
+        ``before_round``: predicates for live rounds never consult pruned
+        rounds (a new block's parent is at its own round - 1).  Returns the
+        number of blocks removed.
+        """
+        doomed = [
+            h
+            for round, hashes in self._blocks_by_round.items()
+            if round < before_round
+            for h in hashes
+        ]
+        for h in doomed:
+            block = self.blocks.pop(h)
+            self._children.pop(h, None)
+            self._children.get(block.parent_hash, set()).discard(h)
+            self._authentic.discard(h)
+            self._valid.discard(h)
+            self._notarized.discard(h)
+            self._finalized.discard(h)
+            self._authenticators.pop(h, None)
+            self._notarizations.pop(h, None)
+            self._finalizations.pop(h, None)
+            self._notar_shares.pop(h, None)
+            self._final_shares.pop(h, None)
+        for round in [r for r in self._blocks_by_round if r < before_round]:
+            del self._blocks_by_round[round]
+        for round in [r for r in self._beacon_shares if r < before_round]:
+            del self._beacon_shares[round]
+        for round in [r for r in self._pending_beacon_shares if r < before_round]:
+            del self._pending_beacon_shares[round]
+        return len(doomed)
+
+    def artifact_count(self) -> int:
+        """Rough pool size (for memory-boundedness tests)."""
+        return (
+            len(self.blocks)
+            + len(self._authenticators)
+            + len(self._notarizations)
+            + len(self._finalizations)
+            + sum(len(v) for v in self._notar_shares.values())
+            + sum(len(v) for v in self._final_shares.values())
+            + sum(len(v) for v in self._beacon_shares.values())
+        )

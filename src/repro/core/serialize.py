@@ -1,0 +1,67 @@
+"""Canonical byte serialization of blocks.
+
+ICC2's reliable broadcast transports *bytes*, so blocks must round-trip
+through a canonical encoding (it is also what a real deployment would put
+on the wire).  ``filler_bytes`` — the benchmark stand-in for bulk payload —
+is materialised as zero bytes, so erasure coding operates on the true
+payload size.
+"""
+
+from __future__ import annotations
+
+from .messages import Block, Payload
+
+_MAGIC = b"ICB1"
+
+
+class DeserializeError(ValueError):
+    """Raised for malformed block encodings (e.g. from corrupt dealers)."""
+
+
+def serialize_block(block: Block) -> bytes:
+    """Canonical encoding: magic, header fields, commands, filler zeros."""
+    parts = [
+        _MAGIC,
+        block.round.to_bytes(8, "big"),
+        block.proposer.to_bytes(4, "big"),
+        block.parent_hash,
+        block.payload.filler_bytes.to_bytes(8, "big"),
+        len(block.payload.commands).to_bytes(4, "big"),
+    ]
+    for command in block.payload.commands:
+        parts.append(len(command).to_bytes(4, "big"))
+        parts.append(command)
+    parts.append(b"\x00" * block.payload.filler_bytes)
+    return b"".join(parts)
+
+
+def deserialize_block(data: bytes) -> Block:
+    """Inverse of :func:`serialize_block`; raises :class:`DeserializeError`."""
+    view = memoryview(data)
+    try:
+        if bytes(view[:4]) != _MAGIC:
+            raise DeserializeError("bad magic")
+        round = int.from_bytes(view[4:12], "big")
+        proposer = int.from_bytes(view[12:16], "big")
+        parent_hash = bytes(view[16:48])
+        filler = int.from_bytes(view[48:56], "big")
+        count = int.from_bytes(view[56:60], "big")
+        offset = 60
+        commands = []
+        for _ in range(count):
+            length = int.from_bytes(view[offset : offset + 4], "big")
+            offset += 4
+            if offset + length > len(view):
+                raise DeserializeError("truncated command")
+            commands.append(bytes(view[offset : offset + length]))
+            offset += length
+        if len(view) - offset != filler:
+            raise DeserializeError("filler length mismatch")
+    except (IndexError, OverflowError) as exc:
+        raise DeserializeError(str(exc)) from exc
+    return Block(
+        round=round,
+        proposer=proposer,
+        parent_hash=parent_hash,
+        payload=Payload(commands=tuple(commands), filler_bytes=filler),
+    )

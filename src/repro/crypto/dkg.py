@@ -1,0 +1,177 @@
+"""Distributed key generation for the threshold schemes.
+
+Section 3.1: "the secret keys of the parties are correlated with one
+another, and must either be set up by a trusted party or a secure
+distributed key generation protocol."  :mod:`repro.crypto.threshold`
+implements the trusted dealer; this module implements the DKG, so the
+repository covers both setup paths.
+
+The protocol is the classic Pedersen/Feldman joint-VSS DKG:
+
+1. every party i deals a random degree-(h-1) polynomial f_i: it broadcasts
+   Feldman commitments A_{i,k} = g^{a_{i,k}} and privately sends party j
+   the share s_{i,j} = f_i(j);
+2. party j verifies each received share against the dealer's commitments
+   (g^{s_{i,j}} == Π_k A_{i,k}^{j^k}) and *complains* about dealers whose
+   share fails;
+3. dealers with a complaint from any honest party are disqualified; the
+   qualified set QUAL defines the key: master secret x = Σ_{i∈QUAL} f_i(0)
+   (never materialised anywhere), party j's share x_j = Σ_{i∈QUAL} s_{i,j},
+   and all public keys are computed from the commitments alone.
+
+Security caveat, stated for honesty: plain Feldman-based DKG lets a
+rushing adversary bias the distribution of the public key (Gennaro et al.,
+EUROCRYPT '99).  Bias does not affect any property the ICC protocols rely
+on (unforgeability and uniqueness of threshold signatures are preserved),
+and the unbiased fix (Pedersen commitments in a preliminary round) is
+orthogonal to consensus; we implement the Feldman variant the IC's
+literature builds from.
+
+The DKG here runs "in the clear" as a round-structured computation over a
+reliable broadcast + private channels abstraction (the standard setting in
+which DKGs are stated); it is exercised both directly and as a drop-in
+replacement for the trusted dealer in :func:`repro.crypto.keyring.generate_keyrings`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .group import Group
+from .threshold import ThresholdKeyShare, ThresholdPublicKey
+
+
+@dataclass(frozen=True)
+class Deal:
+    """One dealer's contribution: commitments + one private share per party."""
+
+    dealer: int
+    commitments: tuple[int, ...]  # A_k = g^{a_k}, k = 0..h-1
+    shares: tuple[int, ...]  # s_j = f(j) for j = 1..n (index j-1)
+
+
+@dataclass
+class DkgResult:
+    """Everything the DKG outputs."""
+
+    public: ThresholdPublicKey
+    key_shares: list[ThresholdKeyShare]
+    qualified: set[int]
+    complaints: dict[int, set[int]]  # dealer -> complaining parties
+
+
+#: Hook for Byzantine dealers in tests: maps dealer index to a function
+#: that may tamper with its honestly-generated Deal before publication.
+DealTamper = Callable[[Deal], Deal]
+
+
+def _commitment_eval(group: Group, commitments: tuple[int, ...], j: int) -> int:
+    """Π_k A_k^{j^k} — the public image of f(j)."""
+    acc = 1
+    power = 1
+    for a_k in commitments:
+        acc = group.mul(acc, group.power(a_k, power))
+        power = (power * j) % group.q
+    return acc
+
+
+def make_deal(group: Group, dealer: int, h: int, n: int, rng) -> Deal:
+    """Honest dealing: random degree-(h-1) polynomial, commitments, shares."""
+    coefficients = [group.random_scalar(rng) for _ in range(h)]
+    commitments = tuple(group.power_g(a) for a in coefficients)
+    shares = tuple(
+        _eval_poly(group, coefficients, j) for j in range(1, n + 1)
+    )
+    return Deal(dealer=dealer, commitments=commitments, shares=shares)
+
+
+def _eval_poly(group: Group, coefficients: list[int], x: int) -> int:
+    acc = 0
+    for c in reversed(coefficients):
+        acc = (acc * x + c) % group.q
+    return acc
+
+
+def verify_share(group: Group, deal: Deal, j: int) -> bool:
+    """Party j's check of dealer ``deal.dealer``'s share."""
+    share = deal.shares[j - 1]
+    return group.power_g(share) == _commitment_eval(group, deal.commitments, j)
+
+
+def run_dkg(
+    group: Group,
+    h: int,
+    n: int,
+    rng,
+    tamper: dict[int, DealTamper] | None = None,
+) -> DkgResult:
+    """Execute the DKG among n parties with reconstruction threshold h.
+
+    ``tamper`` lets tests corrupt specific dealers' deals (e.g. hand one
+    party a share inconsistent with the commitments); such dealers are
+    disqualified by the complaint round, matching step 3 above.
+    Raises if fewer than h dealers qualify (cannot define a key) — with at
+    most t < n/3 corrupt dealers and h <= n - t this cannot happen.
+    """
+    if not 1 <= h <= n:
+        raise ValueError("need 1 <= h <= n")
+    tamper = tamper or {}
+
+    deals: list[Deal] = []
+    for dealer in range(1, n + 1):
+        deal = make_deal(group, dealer, h, n, rng)
+        mutate = tamper.get(dealer)
+        if mutate is not None:
+            deal = mutate(deal)
+        deals.append(deal)
+
+    # Complaint round: every party checks every dealer's share.
+    complaints: dict[int, set[int]] = {}
+    for deal in deals:
+        if len(deal.commitments) != h or len(deal.shares) != n:
+            complaints.setdefault(deal.dealer, set()).update(range(1, n + 1))
+            continue
+        for j in range(1, n + 1):
+            if not verify_share(group, deal, j):
+                complaints.setdefault(deal.dealer, set()).add(j)
+
+    qualified = {deal.dealer for deal in deals if deal.dealer not in complaints}
+    if len(qualified) < h:
+        raise RuntimeError(
+            f"DKG failed: only {len(qualified)} qualified dealers, need {h}"
+        )
+    qualified_deals = [d for d in deals if d.dealer in qualified]
+
+    # Aggregate shares and public material over QUAL.
+    key_shares = []
+    for j in range(1, n + 1):
+        x_j = 0
+        for deal in qualified_deals:
+            x_j = (x_j + deal.shares[j - 1]) % group.q
+        key_shares.append(ThresholdKeyShare(index=j, secret=x_j))
+
+    master_public = 1
+    for deal in qualified_deals:
+        master_public = group.mul(master_public, deal.commitments[0])
+
+    share_publics = []
+    for j in range(1, n + 1):
+        acc = 1
+        for deal in qualified_deals:
+            acc = group.mul(acc, _commitment_eval(group, deal.commitments, j))
+        share_publics.append(acc)
+
+    public = ThresholdPublicKey(
+        group=group,
+        threshold=h,
+        n=n,
+        master_public=master_public,
+        share_publics=tuple(share_publics),
+    )
+    return DkgResult(
+        public=public,
+        key_shares=key_shares,
+        qualified=qualified,
+        complaints=complaints,
+    )

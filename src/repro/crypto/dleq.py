@@ -1,0 +1,62 @@
+"""Chaum–Pedersen DLEQ proofs (discrete-log equality).
+
+A DLEQ proof convinces a verifier that two group elements share the same
+discrete logarithm: given (g, A, h, B), the prover shows knowledge of x with
+A = g**x and B = h**x, without revealing x.  Made non-interactive via
+Fiat–Shamir.
+
+These proofs are the verification mechanism for the *unique signature*
+scheme in :mod:`repro.crypto.unique`: a signature share H2(m)**sk_i is
+accompanied by a DLEQ proof against the share public key g**sk_i.  This is
+the pairing-free substitute for BLS share verification (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .group import Group
+
+
+@dataclass(frozen=True)
+class DleqProof:
+    """Non-interactive proof that log_g(A) == log_h(B)."""
+
+    challenge: int  # scalar c
+    response: int  # scalar s
+
+    def to_bytes(self, group: Group) -> bytes:
+        width = (group.q.bit_length() + 7) // 8
+        return self.challenge.to_bytes(width, "big") + self.response.to_bytes(width, "big")
+
+
+def _challenge(group: Group, g1: int, a: int, g2: int, b: int, t1: int, t2: int) -> int:
+    return group.hash_to_scalar(
+        "ICC/dleq/challenge",
+        *(group.element_to_bytes(x) for x in (g1, a, g2, b, t1, t2)),
+    )
+
+
+def prove(group: Group, secret: int, g1: int, g2: int, rng) -> DleqProof:
+    """Prove that g1**secret and g2**secret share exponent ``secret``."""
+    a = group.power(g1, secret)
+    b = group.power(g2, secret)
+    nonce = group.scalar_field.random_nonzero(rng)
+    t1 = group.power(g1, nonce)
+    t2 = group.power(g2, nonce)
+    c = _challenge(group, g1, a, g2, b, t1, t2)
+    s = (nonce + c * secret) % group.q
+    return DleqProof(challenge=c, response=s)
+
+
+def verify(group: Group, g1: int, a: int, g2: int, b: int, proof: DleqProof) -> bool:
+    """Verify a DLEQ proof for the statement (g1, A=g1^x, g2, B=g2^x)."""
+    for element in (g1, a, g2, b):
+        if not group.is_element(element):
+            return False
+    if not (0 <= proof.challenge < group.q and 0 <= proof.response < group.q):
+        return False
+    # Recompute commitments: t1 = g1^s · A^-c, t2 = g2^s · B^-c.
+    t1 = group.mul(group.power(g1, proof.response), group.power(a, -proof.challenge % group.q))
+    t2 = group.mul(group.power(g2, proof.response), group.power(b, -proof.challenge % group.q))
+    return _challenge(group, g1, a, g2, b, t1, t2) == proof.challenge

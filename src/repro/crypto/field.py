@@ -1,0 +1,135 @@
+"""Prime-field arithmetic over Z_q.
+
+Every discrete-log based primitive in this repository (Schnorr signatures,
+DLEQ proofs, Shamir sharing, threshold signatures) works with scalars in the
+field Z_q, where q is the (prime) order of the Schnorr group.  This module
+provides the scalar type plus the primality machinery used to generate the
+group parameters deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Deterministic Miller-Rabin bases.  For n < 3.3 * 10**24 the first 13 prime
+# bases are a *proof* of primality; for larger n they give an error bound far
+# below 2**-128 which is ample for deterministic parameter generation.
+_MILLER_RABIN_BASES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+
+_SMALL_PRIMES = (
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71,
+    73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227,
+    229, 233, 239, 241, 251,
+)
+
+
+def is_probable_prime(n: int) -> bool:
+    """Miller-Rabin primality test with fixed bases (deterministic)."""
+    if n < 2:
+        return False
+    for p in (2,) + _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MILLER_RABIN_BASES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class PrimeField:
+    """The field Z_q for a prime modulus ``q``.
+
+    Scalars are plain Python ints reduced modulo ``q``; the field object
+    carries the modulus and provides the handful of operations the crypto
+    layer needs.  Keeping scalars as ints (instead of wrapping each one in an
+    object) keeps Lagrange interpolation and exponent arithmetic fast.
+    """
+
+    modulus: int
+
+    def __post_init__(self) -> None:
+        if not is_probable_prime(self.modulus):
+            raise ValueError(f"field modulus {self.modulus} is not prime")
+
+    def reduce(self, value: int) -> int:
+        """Reduce an integer into canonical range [0, q)."""
+        return value % self.modulus
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) % self.modulus
+
+    def sub(self, a: int, b: int) -> int:
+        return (a - b) % self.modulus
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.modulus
+
+    def neg(self, a: int) -> int:
+        return (-a) % self.modulus
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises ``ZeroDivisionError`` for 0."""
+        a %= self.modulus
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in a field")
+        return pow(a, -1, self.modulus)
+
+    def div(self, a: int, b: int) -> int:
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, e: int) -> int:
+        return pow(a, e, self.modulus)
+
+    def random(self, rng) -> int:
+        """Uniform scalar in [0, q) from a ``random.Random``-like source."""
+        return rng.randrange(self.modulus)
+
+    def random_nonzero(self, rng) -> int:
+        """Uniform scalar in [1, q)."""
+        return rng.randrange(1, self.modulus)
+
+    def eval_poly(self, coeffs: list[int], x: int) -> int:
+        """Evaluate a polynomial (coefficients low-to-high) at ``x``."""
+        acc = 0
+        for c in reversed(coeffs):
+            acc = (acc * x + c) % self.modulus
+        return acc
+
+    def lagrange_coefficients_at_zero(self, xs: list[int]) -> list[int]:
+        """Lagrange basis coefficients λ_i with Σ λ_i·f(x_i) = f(0).
+
+        ``xs`` must be distinct and non-zero modulo q.
+        """
+        q = self.modulus
+        reduced = [x % q for x in xs]
+        if len(set(reduced)) != len(reduced):
+            raise ValueError("interpolation points must be distinct mod q")
+        if any(x == 0 for x in reduced):
+            raise ValueError("interpolation points must be non-zero mod q")
+        coeffs = []
+        for i, xi in enumerate(reduced):
+            num = 1
+            den = 1
+            for j, xj in enumerate(reduced):
+                if i == j:
+                    continue
+                num = (num * (-xj)) % q
+                den = (den * (xi - xj)) % q
+            coeffs.append((num * pow(den, -1, q)) % q)
+        return coeffs

@@ -1,0 +1,366 @@
+"""Per-party key material bundles for the ICC protocols.
+
+Section 3.2 of the paper lists the components each party is provisioned
+with:
+
+* ``S_auth``   — an ordinary signature scheme (block authenticators),
+* ``S_notary`` — a (t, n-t, n)-threshold scheme (notarizations),
+* ``S_final``  — a (t, n-t, n)-threshold scheme (finalizations),
+* ``S_beacon`` — a (t, t+1, n)-threshold scheme with *unique* signatures
+  (the random beacon).
+
+This module bundles all four into a single :class:`Keyring` object per
+party, behind a small interface the protocol layer talks to.  Two backends
+implement the interface:
+
+* :class:`RealKeyring` — the actual discrete-log constructions from this
+  package (Schnorr, Schnorr-multisig, threshold-unique signatures).
+* :class:`FastKeyring` — a hash-based *simulation* backend for large-scale
+  experiments.  It preserves every property the protocol logic observes
+  (share/aggregate interfaces, thresholds, uniqueness and unpredictability
+  of the beacon value to the *simulated* adversary) but is not
+  cryptographically unforgeable.  The paper's analysis assumes secure
+  signatures as a black box; the simulated adversaries in
+  :mod:`repro.adversary` mount protocol-level attacks only, never forgeries,
+  so the backends are interchangeable for every experiment.  Crypto
+  correctness itself is validated against the real backend in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Protocol, Sequence
+
+from . import multisig, schnorr, threshold
+from .group import Group, group_for_profile
+from .hashing import tagged_hash
+
+
+class Keyring(Protocol):
+    """What the protocol layer needs from a party's key material."""
+
+    index: int
+    n: int
+    t: int
+
+    # S_auth ---------------------------------------------------------------
+    def sign_auth(self, message: bytes) -> object: ...
+    def verify_auth(self, signer: int, message: bytes, sig: object) -> bool: ...
+
+    # S_notary / S_final ----------------------------------------------------
+    def sign_notary_share(self, message: bytes) -> object: ...
+    def verify_notary_share(self, message: bytes, share: object) -> bool: ...
+    def combine_notary(self, message: bytes, shares: Sequence[object]) -> object: ...
+    def verify_notary(self, message: bytes, agg: object) -> bool: ...
+
+    def sign_final_share(self, message: bytes) -> object: ...
+    def verify_final_share(self, message: bytes, share: object) -> bool: ...
+    def combine_final(self, message: bytes, shares: Sequence[object]) -> object: ...
+    def verify_final(self, message: bytes, agg: object) -> bool: ...
+
+    # S_beacon ---------------------------------------------------------------
+    def sign_beacon_share(self, message: bytes) -> object: ...
+    def verify_beacon_share(self, message: bytes, share: object) -> bool: ...
+    def combine_beacon(self, message: bytes, shares: Sequence[object]) -> object: ...
+    def verify_beacon(self, message: bytes, sig: object) -> bool: ...
+    def beacon_value(self, sig: object) -> bytes: ...
+
+    def share_index(self, share: object) -> int: ...
+
+
+# ---------------------------------------------------------------------------
+# Real (discrete-log) backend
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _SharedPublic:
+    """Public material common to all parties (one per simulation)."""
+
+    group: Group
+    auth_publics: tuple[int, ...]
+    notary_pk: multisig.MultisigPublicKey
+    final_pk: multisig.MultisigPublicKey
+    beacon_pk: threshold.ThresholdPublicKey
+
+
+class RealKeyring:
+    """Discrete-log instantiation of the :class:`Keyring` interface."""
+
+    def __init__(
+        self,
+        index: int,
+        n: int,
+        t: int,
+        shared: _SharedPublic,
+        auth_secret: int,
+        notary_key: multisig.MultisigKeyShare,
+        final_key: multisig.MultisigKeyShare,
+        beacon_key: threshold.ThresholdKeyShare,
+        rng: Random,
+    ) -> None:
+        self.index = index
+        self.n = n
+        self.t = t
+        self._shared = shared
+        self._auth_secret = auth_secret
+        self._notary_key = notary_key
+        self._final_key = final_key
+        self._beacon_key = beacon_key
+        self._rng = rng
+
+    # S_auth
+    def sign_auth(self, message: bytes):
+        return schnorr.sign(self._shared.group, self._auth_secret, message, self._rng)
+
+    def verify_auth(self, signer: int, message: bytes, sig) -> bool:
+        if not 1 <= signer <= self.n:
+            return False
+        public = self._shared.auth_publics[signer - 1]
+        return schnorr.verify(self._shared.group, public, message, sig)
+
+    # S_notary
+    def sign_notary_share(self, message: bytes):
+        return multisig.sign_share(self._shared.notary_pk, self._notary_key, message, self._rng)
+
+    def verify_notary_share(self, message: bytes, share) -> bool:
+        return multisig.verify_share(self._shared.notary_pk, message, share)
+
+    def combine_notary(self, message: bytes, shares):
+        return multisig.combine(self._shared.notary_pk, message, list(shares))
+
+    def verify_notary(self, message: bytes, agg) -> bool:
+        return multisig.verify(self._shared.notary_pk, message, agg)
+
+    # S_final
+    def sign_final_share(self, message: bytes):
+        return multisig.sign_share(self._shared.final_pk, self._final_key, message, self._rng)
+
+    def verify_final_share(self, message: bytes, share) -> bool:
+        return multisig.verify_share(self._shared.final_pk, message, share)
+
+    def combine_final(self, message: bytes, shares):
+        return multisig.combine(self._shared.final_pk, message, list(shares))
+
+    def verify_final(self, message: bytes, agg) -> bool:
+        return multisig.verify(self._shared.final_pk, message, agg)
+
+    # S_beacon
+    def sign_beacon_share(self, message: bytes):
+        return threshold.sign_share(self._shared.beacon_pk, self._beacon_key, message, self._rng)
+
+    def verify_beacon_share(self, message: bytes, share) -> bool:
+        return threshold.verify_share(self._shared.beacon_pk, message, share)
+
+    def combine_beacon(self, message: bytes, shares):
+        return threshold.combine(self._shared.beacon_pk, message, list(shares))
+
+    def verify_beacon(self, message: bytes, sig) -> bool:
+        return threshold.verify(self._shared.beacon_pk, message, sig)
+
+    def beacon_value(self, sig) -> bytes:
+        return tagged_hash(
+            "ICC/beacon/value",
+            threshold.signature_value_bytes(self._shared.beacon_pk, sig),
+        )
+
+    def share_index(self, share) -> int:
+        return share.index
+
+
+# ---------------------------------------------------------------------------
+# Fast (hash-simulation) backend
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FastShare:
+    """Simulated signature share: a MAC under a scheme-wide key."""
+
+    scheme: str
+    index: int
+    digest: bytes
+
+
+@dataclass(frozen=True)
+class FastAggregate:
+    """Simulated aggregate signature with signatory descriptor."""
+
+    scheme: str
+    digest: bytes
+    signatories: tuple[int, ...]
+
+
+class FastKeyring:
+    """Hash-based simulation backend (see module docstring for caveats)."""
+
+    def __init__(self, index: int, n: int, t: int, master: bytes) -> None:
+        self.index = index
+        self.n = n
+        self.t = t
+        self._master = master
+
+    def _share(self, scheme: str, index: int, message: bytes) -> FastShare:
+        digest = tagged_hash(
+            "ICC/fast/share", self._master, scheme.encode(), index.to_bytes(4, "big"), message
+        )
+        return FastShare(scheme=scheme, index=index, digest=digest)
+
+    def _verify_share(self, scheme: str, message: bytes, share: FastShare) -> bool:
+        if not isinstance(share, FastShare) or share.scheme != scheme:
+            return False
+        if not 1 <= share.index <= self.n:
+            return False
+        return share == self._share(scheme, share.index, message)
+
+    def _combine(self, scheme: str, h: int, message: bytes, shares) -> FastAggregate:
+        indices: list[int] = []
+        seen: set[int] = set()
+        for share in shares:
+            if share.index not in seen:
+                seen.add(share.index)
+                indices.append(share.index)
+            if len(indices) == h:
+                break
+        if len(indices) < h:
+            raise ValueError(f"need {h} distinct shares, got {len(indices)}")
+        digest = tagged_hash("ICC/fast/agg", self._master, scheme.encode(), message)
+        return FastAggregate(scheme=scheme, digest=digest, signatories=tuple(indices))
+
+    def _verify_agg(self, scheme: str, h: int, message: bytes, agg: FastAggregate) -> bool:
+        if not isinstance(agg, FastAggregate) or agg.scheme != scheme:
+            return False
+        if len(set(agg.signatories)) < h:
+            return False
+        expected = tagged_hash("ICC/fast/agg", self._master, scheme.encode(), message)
+        return agg.digest == expected
+
+    # S_auth: a per-signer MAC
+    def sign_auth(self, message: bytes):
+        return self._share("auth", self.index, message)
+
+    def verify_auth(self, signer: int, message: bytes, sig) -> bool:
+        return (
+            isinstance(sig, FastShare)
+            and sig.index == signer
+            and self._verify_share("auth", message, sig)
+        )
+
+    # S_notary
+    def sign_notary_share(self, message: bytes):
+        return self._share("notary", self.index, message)
+
+    def verify_notary_share(self, message: bytes, share) -> bool:
+        return self._verify_share("notary", message, share)
+
+    def combine_notary(self, message: bytes, shares):
+        return self._combine("notary", self.n - self.t, message, shares)
+
+    def verify_notary(self, message: bytes, agg) -> bool:
+        return self._verify_agg("notary", self.n - self.t, message, agg)
+
+    # S_final
+    def sign_final_share(self, message: bytes):
+        return self._share("final", self.index, message)
+
+    def verify_final_share(self, message: bytes, share) -> bool:
+        return self._verify_share("final", message, share)
+
+    def combine_final(self, message: bytes, shares):
+        return self._combine("final", self.n - self.t, message, shares)
+
+    def verify_final(self, message: bytes, agg) -> bool:
+        return self._verify_agg("final", self.n - self.t, message, agg)
+
+    # S_beacon — the aggregate digest doubles as the unique signature value.
+    def sign_beacon_share(self, message: bytes):
+        return self._share("beacon", self.index, message)
+
+    def verify_beacon_share(self, message: bytes, share) -> bool:
+        return self._verify_share("beacon", message, share)
+
+    def combine_beacon(self, message: bytes, shares):
+        return self._combine("beacon", self.t + 1, message, shares)
+
+    def verify_beacon(self, message: bytes, sig) -> bool:
+        return self._verify_agg("beacon", self.t + 1, message, sig)
+
+    def beacon_value(self, sig) -> bytes:
+        return tagged_hash("ICC/fast/beacon-value", sig.digest)
+
+    def share_index(self, share) -> int:
+        return share.index
+
+
+# ---------------------------------------------------------------------------
+# Factory
+# ---------------------------------------------------------------------------
+
+
+def generate_keyrings(
+    n: int,
+    t: int,
+    seed: int = 0,
+    backend: str = "fast",
+    group_profile: str = "test",
+    setup: str = "dealer",
+) -> list[Keyring]:
+    """Provision all n parties with correlated key material.
+
+    ``backend`` selects ``"real"`` (discrete-log crypto) or ``"fast"``
+    (hash simulation).  Thresholds follow Section 3.2: S_notary and S_final
+    are (t, n-t, n) schemes, S_beacon is (t, t+1, n).
+
+    ``setup`` chooses how the correlated S_beacon keys come to exist
+    (Section 3.1: "a trusted party or a secure distributed key generation
+    protocol"): ``"dealer"`` uses the trusted dealer of
+    :mod:`repro.crypto.threshold`; ``"dkg"`` runs the Pedersen/Feldman DKG
+    of :mod:`repro.crypto.dkg` (real backend only).
+    """
+    if n < 1:
+        raise ValueError("need at least one party")
+    if t < 0 or (t > 0 and 3 * t >= n):
+        # The protocol tolerates t < n/3; permit t == 0 for degenerate tests.
+        raise ValueError(f"require t < n/3 (got n={n}, t={t})")
+    if backend == "fast":
+        master = tagged_hash("ICC/fast/master", seed.to_bytes(8, "big"), n.to_bytes(4, "big"))
+        return [FastKeyring(index=i, n=n, t=t, master=master) for i in range(1, n + 1)]
+    if backend != "real":
+        raise ValueError(f"unknown crypto backend {backend!r}")
+
+    group = group_for_profile(group_profile)
+    rng = Random(seed)
+    auth_pairs = [schnorr.keygen(group, rng) for _ in range(n)]
+    notary_pk, notary_keys = multisig.keygen(group, n - t, n, rng)
+    final_pk, final_keys = multisig.keygen(group, n - t, n, rng)
+    if setup == "dealer":
+        beacon_pk, beacon_keys = threshold.keygen(group, t + 1, n, rng)
+    elif setup == "dkg":
+        from .dkg import run_dkg
+
+        result = run_dkg(group, t + 1, n, rng)
+        beacon_pk, beacon_keys = result.public, result.key_shares
+    else:
+        raise ValueError(f"unknown key setup {setup!r}")
+    shared = _SharedPublic(
+        group=group,
+        auth_publics=tuple(p.public for p in auth_pairs),
+        notary_pk=notary_pk,
+        final_pk=final_pk,
+        beacon_pk=beacon_pk,
+    )
+    return [
+        RealKeyring(
+            index=i + 1,
+            n=n,
+            t=t,
+            shared=shared,
+            auth_secret=auth_pairs[i].secret,
+            notary_key=notary_keys[i],
+            final_key=final_keys[i],
+            beacon_key=beacon_keys[i],
+            rng=Random(seed * 1_000_003 + i + 1),
+        )
+        for i in range(n)
+    ]

@@ -1,0 +1,148 @@
+"""Proactive resharing of the threshold (beacon) key.
+
+Section 5 lists "the periodic cryptographic key resharing scheme" among
+the Internet Computer's standing traffic.  Resharing refreshes every
+party's share of the S_beacon key *without changing the public key*:
+after a resharing epoch, old shares are useless to an attacker (who must
+now corrupt t+1 parties within one epoch — the point of proactive secret
+sharing, Herzberg et al.), yet signatures remain verifiable against the
+same master public key and the beacon chain continues seamlessly.
+
+Protocol (the classic Feldman-committed share-of-shares construction):
+
+1. each party j in a chosen set Q of h = t+1 *contributors* deals a fresh
+   degree-(h-1) sharing of its own share x_j — commitments A_{j,k} with
+   A_{j,0} = g^{x_j}, which everyone can check against the share public
+   key on record (a contributor cannot lie about its share);
+2. shares from dealers whose commitments don't match the record, or whose
+   private shares fail Feldman verification, are discarded (and the
+   dealer with them — with |Q| > t a qualified subset always survives...
+   here we surface the failure to the caller, who re-runs with a
+   different contributor set, mirroring how the IC retries resharing);
+3. party k's new share is x'_k = Σ_{j∈Q} λ_j · s_{j→k}, where λ_j are the
+   Lagrange coefficients of Q at 0 — a valid sharing of
+   Σ λ_j·x_j = x, the unchanged master secret;
+4. all new share public keys are computable from the commitments, so the
+   new :class:`~repro.crypto.threshold.ThresholdPublicKey` needs no
+   further interaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .dkg import _commitment_eval, _eval_poly
+from .group import Group
+from .shamir import lagrange_at_zero
+from .threshold import ThresholdKeyShare, ThresholdPublicKey
+
+
+@dataclass(frozen=True)
+class ReshareDeal:
+    """Contributor j's re-sharing of its own share x_j."""
+
+    dealer: int
+    commitments: tuple[int, ...]  # A_k = g^{a_k}; A_0 must equal g^{x_j}
+    shares: tuple[int, ...]  # s_{j -> k} for k = 1..n
+
+
+#: Test hook mirroring dkg.DealTamper.
+ReshareTamper = Callable[[ReshareDeal], ReshareDeal]
+
+
+class ResharingError(RuntimeError):
+    """Raised when a contributor misbehaves; re-run with honest contributors."""
+
+
+def make_reshare_deal(
+    group: Group, key: ThresholdKeyShare, h: int, n: int, rng
+) -> ReshareDeal:
+    """Honest contributor: deal a fresh sharing of our own share."""
+    coefficients = [key.secret] + [group.random_scalar(rng) for _ in range(h - 1)]
+    commitments = tuple(group.power_g(a) for a in coefficients)
+    shares = tuple(_eval_poly(group, coefficients, k) for k in range(1, n + 1))
+    return ReshareDeal(dealer=key.index, commitments=commitments, shares=shares)
+
+
+def verify_reshare_deal(
+    group: Group, public: ThresholdPublicKey, deal: ReshareDeal
+) -> bool:
+    """Check a contributor's deal against the on-record share public key."""
+    if len(deal.commitments) != public.threshold or len(deal.shares) != public.n:
+        return False
+    if not 1 <= deal.dealer <= public.n:
+        return False
+    # The constant term must commit to the dealer's registered share.
+    if deal.commitments[0] != public.share_public(deal.dealer):
+        return False
+    return all(
+        group.power_g(deal.shares[k - 1])
+        == _commitment_eval(group, deal.commitments, k)
+        for k in range(1, public.n + 1)
+    )
+
+
+def reshare(
+    group: Group,
+    public: ThresholdPublicKey,
+    contributor_keys: list[ThresholdKeyShare],
+    rng,
+    tamper: dict[int, ReshareTamper] | None = None,
+) -> tuple[ThresholdPublicKey, list[ThresholdKeyShare]]:
+    """Run one resharing epoch with the given h contributors.
+
+    Returns the refreshed public key (same ``master_public``) and every
+    party's new key share.  Raises :class:`ResharingError` if any
+    contributor's deal fails verification — proactive resharing restarts
+    with a different contributor set in that case (there are C(n-t, h)
+    all-honest sets to choose from).
+    """
+    h, n = public.threshold, public.n
+    if len({k.index for k in contributor_keys}) != h:
+        raise ValueError(f"need exactly {h} distinct contributors")
+    tamper = tamper or {}
+
+    deals = []
+    for key in contributor_keys:
+        deal = make_reshare_deal(group, key, h, n, rng)
+        mutate = tamper.get(key.index)
+        if mutate is not None:
+            deal = mutate(deal)
+        if not verify_reshare_deal(group, public, deal):
+            raise ResharingError(f"contributor {key.index} produced a bad deal")
+        deals.append(deal)
+
+    indices = [d.dealer for d in deals]
+    lams = lagrange_at_zero(group.scalar_field, indices)
+
+    new_keys = []
+    for k in range(1, n + 1):
+        secret = 0
+        for lam, deal in zip(lams, deals):
+            secret = (secret + lam * deal.shares[k - 1]) % group.q
+        new_keys.append(ThresholdKeyShare(index=k, secret=secret))
+
+    new_share_publics = []
+    for k in range(1, n + 1):
+        acc = 1
+        for lam, deal in zip(lams, deals):
+            acc = group.mul(acc, group.power(_commitment_eval(group, deal.commitments, k), lam))
+        new_share_publics.append(acc)
+
+    new_public = ThresholdPublicKey(
+        group=group,
+        threshold=h,
+        n=n,
+        master_public=public.master_public,  # unchanged, by construction
+        share_publics=tuple(new_share_publics),
+    )
+    return new_public, new_keys
+
+
+def resharing_traffic_bytes(n: int, share_size: int = 48, commitment_size: int = 48) -> int:
+    """Wire bytes one resharing epoch costs (the Table 1 overhead term):
+    each of t+1 contributors broadcasts h commitments and sends n private
+    shares."""
+    h = (n - 1) // 3 + 1
+    return h * (h * commitment_size + n * share_size)

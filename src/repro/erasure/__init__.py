@@ -1,0 +1,17 @@
+"""Erasure-coding substrate: GF(256), Reed–Solomon, Merkle commitments."""
+
+from . import gf256
+from .merkle import MerkleProof, MerkleTree, verify_inclusion
+from .reed_solomon import CodecParams, DecodeError, decode, encode, shard_length
+
+__all__ = [
+    "gf256",
+    "MerkleProof",
+    "MerkleTree",
+    "verify_inclusion",
+    "CodecParams",
+    "DecodeError",
+    "decode",
+    "encode",
+    "shard_length",
+]

@@ -1,0 +1,82 @@
+"""GF(2^8) arithmetic, table-driven and numpy-vectorised.
+
+The field underlying the Reed–Solomon erasure code used by ICC2's reliable
+broadcast subprotocol.  We use the AES polynomial x^8 + x^4 + x^3 + x + 1
+(0x11B) with generator 0x03; EXP/LOG tables make scalar multiplication a
+lookup, and numpy fancy-indexing extends it to whole shards at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_POLY = 0x11B
+_GENERATOR = 0x03
+
+ORDER = 255  # multiplicative group order
+
+
+def _tables() -> tuple[np.ndarray, np.ndarray]:
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int64)
+    x = 1
+    for i in range(ORDER):
+        exp[i] = x
+        log[x] = i
+        # multiply x by the generator 0x03 = x * 2 + x in GF(2^8)
+        x2 = x << 1
+        if x2 & 0x100:
+            x2 ^= _POLY
+        x = x2 ^ x
+    exp[ORDER : 2 * ORDER] = exp[:ORDER]  # wraparound copies
+    exp[2 * ORDER :] = exp[: 512 - 2 * ORDER]
+    return exp, log
+
+
+EXP, LOG = _tables()
+
+
+def mul(a: int, b: int) -> int:
+    """Scalar multiplication in GF(256)."""
+    if a == 0 or b == 0:
+        return 0
+    return int(EXP[LOG[a] + LOG[b]])
+
+
+def inv(a: int) -> int:
+    """Multiplicative inverse; raises for 0."""
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(256)")
+    return int(EXP[ORDER - LOG[a]])
+
+
+def div(a: int, b: int) -> int:
+    return mul(a, inv(b))
+
+
+def add(a: int, b: int) -> int:
+    """Addition == subtraction == XOR in characteristic 2."""
+    return a ^ b
+
+
+def pow_(a: int, e: int) -> int:
+    if a == 0:
+        return 0 if e else 1
+    return int(EXP[(LOG[a] * (e % ORDER)) % ORDER])
+
+
+def mul_scalar_vec(scalar: int, vec: np.ndarray) -> np.ndarray:
+    """scalar * vec, element-wise over a uint8 numpy array."""
+    if scalar == 0:
+        return np.zeros_like(vec)
+    if scalar == 1:
+        return vec.copy()
+    log_s = LOG[scalar]
+    out = EXP[log_s + LOG[vec]]
+    out[vec == 0] = 0
+    return out.astype(np.uint8)
+
+
+def xor_accumulate(target: np.ndarray, addend: np.ndarray) -> None:
+    """target ^= addend, in place."""
+    np.bitwise_xor(target, addend, out=target)

@@ -1,0 +1,88 @@
+"""Merkle trees with inclusion proofs.
+
+The reliable broadcast subprotocol commits to the full vector of coded
+fragments with a Merkle root; each fragment travels with its inclusion
+proof, so receivers verify fragments individually before contributing them
+to reconstruction (fragments and hashes are the λ-sized objects in the
+paper's O(S + n·λ·log n) accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.hashing import DIGEST_SIZE, tagged_hash
+
+_LEAF_TAG = "ICC/merkle/leaf"
+_NODE_TAG = "ICC/merkle/node"
+
+
+def _leaf_hash(index: int, data: bytes) -> bytes:
+    return tagged_hash(_LEAF_TAG, index.to_bytes(4, "big"), data)
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return tagged_hash(_NODE_TAG, left, right)
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Sibling path from a leaf to the root."""
+
+    leaf_index: int
+    siblings: tuple[bytes, ...]
+
+    def wire_size(self) -> int:
+        return 4 + DIGEST_SIZE * len(self.siblings)
+
+
+class MerkleTree:
+    """Binary Merkle tree over a list of byte-string leaves.
+
+    Odd levels duplicate the trailing node (Bitcoin-style), which keeps the
+    construction simple; leaf hashes bind the index, so the duplication
+    cannot be abused to prove a fragment at two positions.
+    """
+
+    def __init__(self, leaves: list[bytes]) -> None:
+        if not leaves:
+            raise ValueError("Merkle tree needs at least one leaf")
+        self.leaf_count = len(leaves)
+        level = [_leaf_hash(i, leaf) for i, leaf in enumerate(leaves)]
+        self._levels = [level]
+        while len(level) > 1:
+            if len(level) % 2 == 1:
+                level = level + [level[-1]]
+            level = [
+                _node_hash(level[i], level[i + 1]) for i in range(0, len(level), 2)
+            ]
+            self._levels.append(level)
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    def proof(self, index: int) -> MerkleProof:
+        if not 0 <= index < self.leaf_count:
+            raise IndexError(f"leaf index {index} out of range")
+        siblings: list[bytes] = []
+        pos = index
+        for level in self._levels[:-1]:
+            padded = level + [level[-1]] if len(level) % 2 == 1 else level
+            sibling = padded[pos ^ 1]
+            siblings.append(sibling)
+            pos //= 2
+        return MerkleProof(leaf_index=index, siblings=tuple(siblings))
+
+
+def verify_inclusion(root: bytes, data: bytes, proof: MerkleProof) -> bool:
+    """Check that ``data`` is the leaf at ``proof.leaf_index`` under ``root``."""
+    node = _leaf_hash(proof.leaf_index, data)
+    pos = proof.leaf_index
+    for sibling in proof.siblings:
+        if pos % 2 == 0:
+            node = _node_hash(node, sibling)
+        else:
+            node = _node_hash(sibling, node)
+        pos //= 2
+    return node == root

@@ -1,0 +1,110 @@
+"""Systematic Reed–Solomon erasure coding over GF(256).
+
+The code behind ICC2's reliable broadcast: a message is split into ``k``
+data shards, extended to ``m`` total shards, and *any* k shards reconstruct
+the message.  We use the polynomial-evaluation view: the k data shards are
+the values of a degree-(k-1) polynomial (per byte position) at evaluation
+points 0..k-1, and parity shard j is its value at point j (for j >= k).
+Encoding and decoding are both Lagrange interpolation, vectorised with
+numpy across byte positions.
+
+GF(256) limits ``m`` to 256 shards, far above the subnet sizes the paper
+deploys (13–40 nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import gf256
+
+
+class DecodeError(ValueError):
+    """Raised when reconstruction is impossible or inputs are malformed."""
+
+
+def _lagrange_coefficients(points: list[int], target: int) -> list[int]:
+    """Coefficients c_i with f(target) = XOR_i c_i * f(points[i]) in GF(256)."""
+    coeffs = []
+    for i, xi in enumerate(points):
+        num, den = 1, 1
+        for j, xj in enumerate(points):
+            if i == j:
+                continue
+            num = gf256.mul(num, target ^ xj)
+            den = gf256.mul(den, xi ^ xj)
+        coeffs.append(gf256.div(num, den))
+    return coeffs
+
+
+@dataclass(frozen=True)
+class CodecParams:
+    """(k, m): reconstruct from any k of m shards."""
+
+    k: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.k <= self.m:
+            raise ValueError("need 1 <= k <= m")
+        if self.m > 256:
+            raise ValueError("GF(256) supports at most 256 shards")
+
+
+def shard_length(data_length: int, k: int) -> int:
+    """Length of each shard for a message of ``data_length`` bytes."""
+    return max(1, -(-data_length // k))
+
+
+def encode(data: bytes, params: CodecParams) -> list[bytes]:
+    """Encode ``data`` into ``params.m`` shards (first k are systematic)."""
+    k, m = params.k, params.m
+    length = shard_length(len(data), k)
+    padded = np.frombuffer(data.ljust(k * length, b"\x00"), dtype=np.uint8)
+    shards = [padded[i * length : (i + 1) * length] for i in range(k)]
+    out = [bytes(s) for s in shards]
+    points = list(range(k))
+    for target in range(k, m):
+        coeffs = _lagrange_coefficients(points, target)
+        acc = np.zeros(length, dtype=np.uint8)
+        for c, shard in zip(coeffs, shards):
+            gf256.xor_accumulate(acc, gf256.mul_scalar_vec(c, shard))
+        out.append(bytes(acc))
+    return out
+
+
+def decode(shards: dict[int, bytes], params: CodecParams, data_length: int) -> bytes:
+    """Reconstruct the original message from any k shards.
+
+    ``shards`` maps shard index -> shard bytes.  Extra shards beyond k are
+    ignored (deterministically: lowest indices win).
+    """
+    k = params.k
+    if len(shards) < k:
+        raise DecodeError(f"need {k} shards, got {len(shards)}")
+    chosen = sorted(shards)[:k]
+    length = shard_length(data_length, k)
+    arrays = {}
+    for idx in chosen:
+        if not 0 <= idx < params.m:
+            raise DecodeError(f"shard index {idx} out of range")
+        shard = shards[idx]
+        if len(shard) != length:
+            raise DecodeError(
+                f"shard {idx} has length {len(shard)}, expected {length}"
+            )
+        arrays[idx] = np.frombuffer(shard, dtype=np.uint8)
+
+    data_parts: list[np.ndarray] = []
+    for target in range(k):
+        if target in arrays:
+            data_parts.append(arrays[target])
+            continue
+        coeffs = _lagrange_coefficients(chosen, target)
+        acc = np.zeros(length, dtype=np.uint8)
+        for c, idx in zip(coeffs, chosen):
+            gf256.xor_accumulate(acc, gf256.mul_scalar_vec(c, arrays[idx]))
+        data_parts.append(acc)
+    return b"".join(bytes(p) for p in data_parts)[:data_length]

@@ -1,0 +1,37 @@
+"""Experiment harness: one module per table/figure/claim (see DESIGN.md §3).
+
+Every module exposes ``run(...) -> structured results`` and ``main()``
+which prints the same rows the paper reports.  Run everything with::
+
+    python -m repro.experiments.run_all
+"""
+
+from . import (
+    ablations,
+    bandwidth,
+    comparison,
+    dissemination,
+    intermittent,
+    message_complexity,
+    properties,
+    responsiveness,
+    robustness,
+    round_complexity,
+    table1,
+    throughput_latency,
+)
+
+__all__ = [
+    "ablations",
+    "bandwidth",
+    "comparison",
+    "dissemination",
+    "intermittent",
+    "message_complexity",
+    "properties",
+    "responsiveness",
+    "robustness",
+    "round_complexity",
+    "table1",
+    "throughput_latency",
+]

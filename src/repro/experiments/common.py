@@ -1,0 +1,99 @@
+"""Shared helpers for the experiment harness.
+
+Each experiment module exposes ``run(...) -> dict`` returning structured
+results plus a ``main()`` that prints the same rows the paper reports.
+These helpers keep protocol construction uniform across experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.cluster import Cluster, ClusterConfig, build_cluster
+from ..core.icc0 import ICC0Party
+from ..core.icc1 import ICC1Party
+from ..core.icc2 import ICC2Party
+from ..gossip import GossipParams, build_overlay
+from ..sim.delays import DelayModel
+
+
+def make_icc_config(
+    protocol: str,
+    n: int,
+    t: int,
+    delta_bound: float,
+    delay_model: DelayModel,
+    *,
+    epsilon: float = 0.05,
+    seed: int = 0,
+    max_rounds: int | None = None,
+    payload_source=None,
+    corrupt: dict | None = None,
+    gossip_degree: int = 4,
+    gossip_params: GossipParams | None = None,
+) -> ClusterConfig:
+    """Build a ClusterConfig for any of the three ICC protocols."""
+    protocol = protocol.upper()
+    classes = {"ICC0": ICC0Party, "ICC1": ICC1Party, "ICC2": ICC2Party}
+    if protocol not in classes:
+        raise ValueError(f"unknown ICC protocol {protocol!r}")
+    extra: dict = {}
+    if protocol == "ICC1":
+        extra["overlay"] = build_overlay(n, gossip_degree, seed=seed)
+        extra["gossip_params"] = (
+            gossip_params if gossip_params is not None else GossipParams(degree=gossip_degree)
+        )
+    kwargs = dict(
+        n=n,
+        t=t,
+        delta_bound=delta_bound,
+        epsilon=epsilon,
+        seed=seed,
+        max_rounds=max_rounds,
+        delay_model=delay_model,
+        party_class=classes[protocol],
+        extra_party_kwargs=extra,
+    )
+    if payload_source is not None:
+        kwargs["payload_source"] = payload_source
+    if corrupt is not None:
+        kwargs["corrupt"] = corrupt
+    return ClusterConfig(**kwargs)
+
+
+def run_icc(config: ClusterConfig, duration: float) -> Cluster:
+    """Build, start and run a cluster for a fixed duration."""
+    cluster = build_cluster(config)
+    cluster.start()
+    cluster.run_for(duration)
+    cluster.check_safety()
+    return cluster
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Minimal fixed-width table printer for experiment output."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    print()
+    print(f"== {title} ==")
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in str_rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else float("nan")
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return float("nan")
+    idx = min(len(ordered) - 1, int(p * len(ordered)))
+    return ordered[idx]

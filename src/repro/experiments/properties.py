@@ -1,0 +1,157 @@
+"""Experiment E8 — the protocol properties P1/P2/P3 of Section 3.3.
+
+* **P1 (deadlock-freeness)**: at least one notarized block of depth k is
+  added to the tree in every round — checked by confirming every honest
+  party keeps finishing rounds under Byzantine attack and an adversarial
+  network.
+* **P2 (safety)**: if a depth-k block is finalized, no other depth-k
+  block is notarized — checked directly on honest parties' pools, plus
+  the output prefix property across parties.
+* **P3 (liveness)**: if the network turns δ-synchronous while an honest
+  leader's round is running, that leader's block is finalized — checked
+  under *intermittent synchrony* (synchronous windows between asynchronous
+  stretches), confirming commits resume in every synchronous window.
+
+These properties also have dedicated unit/property tests; this experiment
+runs the heavier randomized sweeps and prints a verdict table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..adversary import (
+    AggressiveByzantineMixin,
+    EquivocatingProposerMixin,
+    SilentMixin,
+    WithholdFinalizationMixin,
+    corrupt_class,
+)
+from ..core.cluster import build_cluster
+from ..core.icc0 import ICC0Party
+from ..sim.delays import FixedDelay, IntermittentSynchrony, UniformDelay
+from .common import make_icc_config, print_table
+
+
+@dataclass(frozen=True)
+class PropertyVerdict:
+    name: str
+    trials: int
+    passed: int
+
+    @property
+    def ok(self) -> bool:
+        return self.passed == self.trials
+
+
+def check_p2_on_cluster(cluster) -> None:
+    """P2: finalized depth-k block => no other notarized depth-k block."""
+    for party in cluster.honest_parties:
+        pool = party.pool
+        max_round = max((b.round for b in party.output_log), default=0)
+        for k in range(1, max_round + 1):
+            finalized = pool.finalized_blocks(k)
+            if not finalized:
+                continue
+            notarized = pool.notarized_blocks(k)
+            hashes = {b.hash for b in notarized}
+            if len(hashes) > 1:
+                raise AssertionError(
+                    f"P2 violated at round {k}: finalized block coexists with "
+                    f"{len(hashes)} notarized blocks"
+                )
+
+
+def run_safety_sweep(trials: int = 10, n: int = 10, rounds: int = 20) -> PropertyVerdict:
+    """P1+P2 under randomized Byzantine mixes and jittery delays."""
+    attackers = [
+        corrupt_class(ICC0Party, AggressiveByzantineMixin),
+        corrupt_class(ICC0Party, EquivocatingProposerMixin),
+        corrupt_class(ICC0Party, SilentMixin),
+        corrupt_class(ICC0Party, WithholdFinalizationMixin),
+        None,  # crash
+    ]
+    t = (n - 1) // 3
+    passed = 0
+    for trial in range(trials):
+        corrupt = {
+            i + 1: attackers[(trial + i) % len(attackers)] for i in range(t)
+        }
+        config = make_icc_config(
+            "ICC0",
+            n=n,
+            t=t,
+            delta_bound=0.3,
+            epsilon=0.02,
+            delay_model=UniformDelay(0.01, 0.15),
+            seed=100 + trial,
+            max_rounds=rounds,
+            corrupt=corrupt,
+        )
+        cluster = build_cluster(config)
+        cluster.start()
+        cluster.run_for(rounds * 3.0 + 30)
+        cluster.check_safety()
+        check_p2_on_cluster(cluster)
+        # P1: every honest party finished every round.
+        if all(p.round >= rounds for p in cluster.honest_parties):
+            passed += 1
+    return PropertyVerdict(name="P1+P2 Byzantine sweep", trials=trials, passed=passed)
+
+
+def run_liveness_intermittent(trials: int = 5, n: int = 7) -> PropertyVerdict:
+    """P3 under intermittent synchrony: commits resume in sync windows."""
+    t = (n - 1) // 3
+    passed = 0
+    for trial in range(trials):
+        delay = IntermittentSynchrony(
+            base=FixedDelay(0.05), period=20.0, sync_len=5.0
+        )
+        config = make_icc_config(
+            "ICC0",
+            n=n,
+            t=t,
+            delta_bound=0.2,
+            epsilon=0.02,
+            delay_model=delay,
+            seed=200 + trial,
+        )
+        cluster = build_cluster(config)
+        cluster.start()
+        cluster.run_for(100.0, max_events=20_000_000)
+        cluster.check_safety()
+        # Commits must land in (at least) each of the later sync windows,
+        # and every round in between must eventually commit (throughput
+        # holds across asynchronous stretches, Section 3.3).
+        observer = cluster.honest_parties[0]
+        commit_times = sorted(
+            c.time for c in cluster.metrics.commits_of(observer.index)
+        )
+        windows_hit = {int(ct // 20.0) for ct in commit_times if (ct % 20.0) <= 6.0}
+        rounds_contiguous = [b.round for b in observer.output_log] == list(
+            range(1, len(observer.output_log) + 1)
+        )
+        if len(windows_hit) >= 4 and rounds_contiguous and observer.k_max > 0:
+            passed += 1
+    return PropertyVerdict(name="P3 intermittent synchrony", trials=trials, passed=passed)
+
+
+def run(trials: int = 10) -> list[PropertyVerdict]:
+    return [
+        run_safety_sweep(trials=trials),
+        run_liveness_intermittent(trials=max(3, trials // 2)),
+    ]
+
+
+def main() -> list[PropertyVerdict]:
+    verdicts = run()
+    print_table(
+        "E8: protocol properties P1/P2/P3 under adversarial conditions",
+        ["property", "trials", "passed", "verdict"],
+        [(v.name, v.trials, v.passed, "OK" if v.ok else "FAIL") for v in verdicts],
+    )
+    return verdicts
+
+
+if __name__ == "__main__":
+    main()

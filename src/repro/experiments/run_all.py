@@ -1,0 +1,49 @@
+"""Run the full evaluation suite and print every table.
+
+Usage::
+
+    python -m repro.experiments.run_all [--quick]
+
+``--quick`` shrinks the Table 1 measurement window from the paper's 5
+minutes to 60 seconds (everything else is already fast).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import (
+    ablations,
+    bandwidth,
+    comparison,
+    dissemination,
+    intermittent,
+    message_complexity,
+    properties,
+    responsiveness,
+    robustness,
+    round_complexity,
+    table1,
+    throughput_latency,
+)
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = argv if argv is not None else sys.argv[1:]
+    quick = "--quick" in args
+    table1.main(duration=60.0 if quick else 300.0)
+    throughput_latency.main()
+    message_complexity.main()
+    round_complexity.main()
+    robustness.main()
+    responsiveness.main()
+    dissemination.main()
+    comparison.main()
+    properties.main()
+    intermittent.main()
+    bandwidth.main()
+    ablations.main()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Erasure-coded reliable broadcast (the ICC2 dissemination subprotocol)."""
+
+from .protocol import Fragment, RbcEndpoint, RbcMessage
+
+__all__ = ["Fragment", "RbcEndpoint", "RbcMessage"]

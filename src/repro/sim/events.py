@@ -1,0 +1,76 @@
+"""Event queue for the discrete-event simulator.
+
+A minimal, deterministic priority queue of timed callbacks.  Ties are broken
+by insertion order (a monotone sequence number), so two events scheduled for
+the same instant always fire in the order they were scheduled — this is what
+makes whole-simulation runs reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`EventQueue.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _QueuedEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class EventQueue:
+    """Deterministic min-heap of timed events."""
+
+    def __init__(self) -> None:
+        self._heap: list[_QueuedEvent] = []
+        self._counter = itertools.count()
+
+    def schedule(self, time: float, action: Callable[[], None]) -> EventHandle:
+        if time < 0:
+            raise ValueError("cannot schedule an event in negative time")
+        event = _QueuedEvent(time=time, seq=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def pop(self) -> _QueuedEvent | None:
+        """Next non-cancelled event, or None when the queue is drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

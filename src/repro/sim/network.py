@@ -1,0 +1,224 @@
+"""The broadcast network connecting simulated parties.
+
+Matches the communication model of Section 3.1:
+
+* the only primitive honest parties use is **broadcast** (same message to
+  everyone) — but the broadcast is *not secure*: a corrupt party may send
+  different messages to different parties (:meth:`Network.send`), or
+  nothing at all;
+* scheduling of delivery is adversary-controlled in the worst case — the
+  pluggable :class:`~repro.sim.delays.DelayModel` decides delays;
+* every message from an honest party to an honest party is eventually
+  delivered (delay models uphold this; crashes model *corrupt* parties).
+
+Point-to-point ``send`` also exists because ICC2's reliable-broadcast
+subprotocol and the gossip sub-layer are not all-to-all.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from .delays import DelayModel
+from .metrics import Metrics
+from .simulator import Simulation
+
+
+class Receiver(Protocol):
+    """What the network requires of an attached party."""
+
+    index: int
+
+    def on_receive(self, message: object) -> None: ...
+
+
+def wire_size(message: object) -> int:
+    """Size of a message on the wire, via duck typing.
+
+    Message classes expose ``wire_size()``; raw bytes fall back to their
+    length.  Anything else is a programming error — better loud than a
+    silently meaningless traffic measurement.
+    """
+    method = getattr(message, "wire_size", None)
+    if method is not None:
+        return int(method())
+    if isinstance(message, (bytes, bytearray)):
+        return len(message)
+    raise TypeError(f"cannot size message of type {type(message).__name__}")
+
+
+def message_kind(message: object) -> str:
+    """Metric label for a message, via duck typing."""
+    kind = getattr(message, "kind", None)
+    if kind is not None:
+        return str(kind)
+    return type(message).__name__
+
+
+class Network:
+    """Delay-model-driven message fabric for up to ``n`` parties."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        n: int,
+        delay_model: DelayModel,
+        metrics: Metrics | None = None,
+        uplink_bps: float | None = None,
+    ) -> None:
+        """``uplink_bps`` (optional) models each node's finite upload
+        bandwidth: transmissions serialize through the sender's NIC, so a
+        message of size B adds B·8/uplink_bps of transmission time *and*
+        queues behind the sender's earlier transmissions.  This is what
+        turns the leader's (n-1)·S egress into real latency on a WAN — the
+        bottleneck effect [35] measures and the reason ICC1/ICC2 exist.
+        None = infinite bandwidth (pure propagation-delay model).
+        """
+        self.sim = sim
+        self.n = n
+        self.delay_model = delay_model
+        self.metrics = metrics if metrics is not None else Metrics(n=n)
+        self.uplink_bps = uplink_bps
+        #: Probability a transmission is delivered twice (transport-level
+        #: retries / gossip re-sends).  Protocol state must be idempotent
+        #: under duplication — the pool's dedup guarantees it.
+        self.duplicate_prob: float = 0.0
+        self._uplink_free_at: dict[int, float] = {}
+        self._parties: dict[int, Receiver] = {}
+        self._crashed: set[int] = set()
+        self._partitions: list[tuple[frozenset[int], float]] = []
+        self._delivered = 0
+
+    # -- topology management --------------------------------------------------
+
+    def attach(self, party: Receiver) -> None:
+        if not 1 <= party.index <= self.n:
+            raise ValueError(f"party index {party.index} outside 1..{self.n}")
+        if party.index in self._parties:
+            raise ValueError(f"party {party.index} already attached")
+        self._parties[party.index] = party
+
+    def crash(self, index: int) -> None:
+        """Silence a party (crash-failure corruption, or a node going
+        offline): it neither sends nor receives, and messages addressed to
+        it are *dropped* (unlike a partition, which holds them back)."""
+        self._crashed.add(index)
+
+    def revive(self, index: int) -> None:
+        """Bring a crashed/offline party back.  In the paper's model a
+        corrupt party stays corrupt; revive models an *honest* node that
+        was offline and rejoins — the catch-up subprotocol's scenario."""
+        self._crashed.discard(index)
+
+    def is_crashed(self, index: int) -> bool:
+        return index in self._crashed
+
+    def add_partition(self, group: set[int], heal_time: float) -> None:
+        """Until ``heal_time``, messages between ``group`` and the rest are
+        held back (and delivered at heal time — eventual delivery holds)."""
+        self._partitions.append((frozenset(group), heal_time))
+
+    def _partition_hold(self, sender: int, receiver: int) -> float:
+        """Extra wait imposed by active partitions (0 when none)."""
+        hold = 0.0
+        now = self.sim.now
+        for group, heal in self._partitions:
+            if heal <= now:
+                continue
+            if (sender in group) != (receiver in group):
+                hold = max(hold, heal - now)
+        return hold
+
+    # -- transmission -----------------------------------------------------------
+
+    def broadcast(self, sender: int, message: object, round: int | None = None) -> None:
+        """Send ``message`` from ``sender`` to all parties (including itself).
+
+        Self-delivery is immediate (the party's own messages go straight
+        into its pool, Section 3.1); remote deliveries follow the delay
+        model.  Traffic accounting follows the paper's conventions (see
+        :mod:`repro.sim.metrics`).
+        """
+        if sender in self._crashed:
+            return
+        size = wire_size(message)
+        self.metrics.on_broadcast(sender, size, message_kind(message), round)
+        for receiver in range(1, self.n + 1):
+            if receiver == sender:
+                self._deliver(sender, receiver, message)
+            else:
+                # Each copy serializes through the sender's uplink in turn.
+                self._deliver(
+                    sender, receiver, message,
+                    sent_at=self._transmission_done_at(sender, size),
+                )
+
+    def send(self, sender: int, receiver: int, message: object, round: int | None = None) -> None:
+        """Point-to-point send (gossip, ICC2 fragments, Byzantine equivocation)."""
+        if sender in self._crashed:
+            return
+        size = wire_size(message)
+        self.metrics.on_send(sender, size, message_kind(message), round)
+        sent_at = None
+        if receiver != sender:
+            sent_at = self._transmission_done_at(sender, size)
+        self._deliver(sender, receiver, message, sent_at=sent_at)
+
+    def multicast(self, sender: int, receivers: list[int], message: object, round: int | None = None) -> None:
+        """Send the same message to a subset (used by the gossip overlay)."""
+        if sender in self._crashed:
+            return
+        size = wire_size(message)
+        for receiver in receivers:
+            self.metrics.on_send(sender, size, message_kind(message), round)
+            sent_at = None
+            if receiver != sender:
+                sent_at = self._transmission_done_at(sender, size)
+            self._deliver(sender, receiver, message, sent_at=sent_at)
+
+    def _transmission_done_at(self, sender: int, size: int) -> float:
+        """When the sender's NIC finishes pushing this message out."""
+        if self.uplink_bps is None:
+            return self.sim.now
+        start = max(self.sim.now, self._uplink_free_at.get(sender, 0.0))
+        done = start + size * 8.0 / self.uplink_bps
+        self._uplink_free_at[sender] = done
+        return done
+
+    def _deliver(
+        self, sender: int, receiver: int, message: object, sent_at: float | None = None
+    ) -> None:
+        if receiver in self._crashed:
+            return
+        if receiver == sender:
+            delay = 0.0
+        else:
+            sampler = getattr(self.delay_model, "sample_message", None)
+            if sampler is not None:
+                delay = sampler(sender, receiver, self.sim.now, message, self.sim.rng)
+            else:
+                delay = self.delay_model.sample(sender, receiver, self.sim.now, self.sim.rng)
+            delay += self._partition_hold(sender, receiver)
+            if sent_at is not None:
+                delay += sent_at - self.sim.now  # NIC serialization time
+        self.sim.schedule(delay, lambda: self._hand_over(receiver, message))
+        if (
+            receiver != sender
+            and self.duplicate_prob > 0.0
+            and self.sim.rng.random() < self.duplicate_prob
+        ):
+            # The duplicate trails the original by a fresh delay sample.
+            extra = self.delay_model.sample(sender, receiver, self.sim.now, self.sim.rng)
+            self.sim.schedule(delay + extra, lambda: self._hand_over(receiver, message))
+
+    def _hand_over(self, receiver: int, message: object) -> None:
+        if receiver in self._crashed:
+            return
+        party = self._parties.get(receiver)
+        if party is not None:
+            self._delivered += 1
+            party.on_receive(message)
+
+    @property
+    def delivered_count(self) -> int:
+        return self._delivered

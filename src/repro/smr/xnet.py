@@ -1,0 +1,108 @@
+"""Cross-subnet messaging: intercommunicating replicated state machines.
+
+The paper's opening framing (Section 1): "the Internet Computer is a
+dynamic collection of intercommunicating replicated state machines:
+commands for atomic broadcast on one replicated state machine are either
+derived from messages received [from] other replicated state machines, or
+from external clients."
+
+This module supplies that second command source.  An :class:`XNet` couples
+several independently-running subnets (each its own consensus instance)
+inside one simulation:
+
+* commands committed on subnet A whose body is an *xnet envelope*
+  addressed to subnet B are extracted from A's committed prefix,
+* carried across with a configurable transfer delay (the IC certifies
+  cross-subnet streams against the source subnet's state; here the
+  committed prefix *is* the certified stream), and
+* submitted into B's mempools as ordinary commands.
+
+Per-source FIFO holds by construction: A commits in a total order and the
+transfer preserves it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.cluster import Cluster
+from ..core.messages import Block
+from .client import ClientFrontend
+
+_ENVELOPE_TAG = b"xnet\x1f"
+_SEP = b"\x1f"
+
+
+def make_envelope(destination: str, body: bytes) -> bytes:
+    """Wrap ``body`` as a cross-subnet message for ``destination``."""
+    if _SEP in destination.encode():
+        raise ValueError("destination may not contain the separator byte")
+    return _ENVELOPE_TAG + destination.encode() + _SEP + body
+
+
+def parse_envelope(command: bytes) -> tuple[str, bytes] | None:
+    """Return (destination, body) if ``command`` is an xnet envelope."""
+    if not command.startswith(_ENVELOPE_TAG):
+        return None
+    rest = command[len(_ENVELOPE_TAG):]
+    destination, sep, body = rest.partition(_SEP)
+    if not sep:
+        return None
+    return destination.decode(errors="replace"), body
+
+
+@dataclass
+class Subnet:
+    """One registered subnet: its cluster plus a client frontend."""
+
+    name: str
+    cluster: Cluster
+    client: ClientFrontend
+    received: list[tuple[str, bytes]] = field(default_factory=list)
+
+
+class XNet:
+    """Routes committed xnet envelopes between registered subnets."""
+
+    def __init__(self, sim, transfer_delay: float = 0.2) -> None:
+        self.sim = sim
+        self.transfer_delay = transfer_delay
+        self.subnets: dict[str, Subnet] = {}
+        self.transfers = 0
+        self.undeliverable = 0
+
+    def register(self, name: str, cluster: Cluster, client: ClientFrontend) -> Subnet:
+        """Register a subnet and start watching its committed prefix."""
+        if name in self.subnets:
+            raise ValueError(f"subnet {name!r} already registered")
+        if cluster.sim is not self.sim:
+            raise ValueError("all coupled subnets must share one simulation")
+        subnet = Subnet(name=name, cluster=cluster, client=client)
+        self.subnets[name] = subnet
+        observer = cluster.honest_parties[0]
+
+        def on_commit(block: Block, source=name) -> None:
+            from .client import strip_client_envelope
+
+            for command in block.payload.commands:
+                envelope = parse_envelope(strip_client_envelope(command))
+                if envelope is None:
+                    continue
+                destination, payload = envelope
+                self._route(source, destination, payload)
+
+        observer.commit_listeners.append(on_commit)
+        return subnet
+
+    def _route(self, source: str, destination: str, body: bytes) -> None:
+        target = self.subnets.get(destination)
+        if target is None:
+            self.undeliverable += 1
+            return
+        self.transfers += 1
+
+        def deliver() -> None:
+            target.received.append((source, body))
+            target.client.submit(body)
+
+        self.sim.schedule(self.transfer_delay, deliver)

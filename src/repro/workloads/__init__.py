@@ -1,0 +1,15 @@
+"""Workload generators for the evaluation scenarios of Section 5."""
+
+from .generators import (
+    MempoolWorkload,
+    WorkloadSpec,
+    fixed_size_source,
+    management_only_source,
+)
+
+__all__ = [
+    "MempoolWorkload",
+    "WorkloadSpec",
+    "fixed_size_source",
+    "management_only_source",
+]

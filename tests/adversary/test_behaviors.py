@@ -1,0 +1,176 @@
+"""Byzantine-behaviour tests: safety and liveness under every attack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import (
+    AggressiveByzantineMixin,
+    EquivocatingProposerMixin,
+    LazyLeaderMixin,
+    SilentMixin,
+    SlowProposerMixin,
+    WithholdFinalizationMixin,
+    WithholdNotarizationMixin,
+    corrupt_class,
+)
+from repro.core import ClusterConfig, Payload, build_cluster
+from repro.core.icc0 import ICC0Party
+from repro.sim.delays import FixedDelay
+
+
+def run_with_corrupt(corrupt, n=7, t=2, rounds=12, seed=1, timeout=300.0, **overrides):
+    config = ClusterConfig(
+        n=n,
+        t=t,
+        delta_bound=0.3,
+        epsilon=0.01,
+        delay_model=FixedDelay(0.05),
+        max_rounds=rounds,
+        seed=seed,
+        corrupt=corrupt,
+        **overrides,
+    )
+    cluster = build_cluster(config)
+    cluster.start()
+    cluster.run_until_all_committed_round(rounds - 2, timeout=timeout)
+    cluster.check_safety()
+    return cluster
+
+
+class TestCrashFailures:
+    def test_t_crashes_tolerated(self):
+        cluster = run_with_corrupt({1: None, 2: None})
+        assert cluster.min_committed_round() >= 10
+
+    def test_crashed_never_proposes(self):
+        cluster = run_with_corrupt({1: None, 2: None})
+        proposers = {b.proposer for b in cluster.party(3).output_log}
+        assert not proposers & {1, 2}
+
+
+class TestSilent:
+    def test_silent_tolerated(self):
+        silent = corrupt_class(ICC0Party, SilentMixin)
+        cluster = run_with_corrupt({1: silent, 2: silent})
+        assert cluster.min_committed_round() >= 10
+
+    def test_silent_sends_nothing(self):
+        silent = corrupt_class(ICC0Party, SilentMixin)
+        cluster = run_with_corrupt({1: silent})
+        assert cluster.metrics.bytes_sent[1] == 0
+
+
+class TestEquivocation:
+    def test_safety_under_equivocation(self):
+        equivocator = corrupt_class(ICC0Party, EquivocatingProposerMixin)
+        cluster = run_with_corrupt({1: equivocator, 2: equivocator}, rounds=15)
+        assert cluster.min_committed_round() >= 13
+
+    def test_equivocating_ranks_get_disqualified(self):
+        equivocator = corrupt_class(ICC0Party, EquivocatingProposerMixin)
+        cluster = run_with_corrupt({1: equivocator, 2: equivocator}, rounds=15)
+        assert cluster.metrics.counters["ranks-disqualified"] > 0
+
+    def test_equivocated_block_never_in_two_outputs(self):
+        """No two honest parties commit different blocks at any depth."""
+        equivocator = corrupt_class(ICC0Party, EquivocatingProposerMixin)
+        cluster = run_with_corrupt({1: equivocator, 2: equivocator}, rounds=15)
+        by_round: dict[int, set[bytes]] = {}
+        for party in cluster.honest_parties:
+            for block in party.output_log:
+                by_round.setdefault(block.round, set()).add(block.hash)
+        assert all(len(hashes) == 1 for hashes in by_round.values())
+
+
+class TestWithholding:
+    def test_withheld_finalization_does_not_block_commits(self):
+        withholder = corrupt_class(ICC0Party, WithholdFinalizationMixin)
+        cluster = run_with_corrupt({1: withholder, 2: withholder})
+        assert cluster.min_committed_round() >= 10
+
+    def test_withheld_notarization_does_not_block_progress(self):
+        withholder = corrupt_class(ICC0Party, WithholdNotarizationMixin)
+        cluster = run_with_corrupt({1: withholder, 2: withholder})
+        assert cluster.min_committed_round() >= 10
+
+
+class TestAggressive:
+    def test_safety_under_aggressive_byzantine(self):
+        attacker = corrupt_class(ICC0Party, AggressiveByzantineMixin)
+        cluster = run_with_corrupt({1: attacker, 2: attacker}, rounds=15)
+        assert cluster.min_committed_round() >= 13
+
+    def test_larger_cluster_full_t(self):
+        attacker = corrupt_class(ICC0Party, AggressiveByzantineMixin)
+        cluster = run_with_corrupt(
+            {1: attacker, 2: attacker, 3: attacker},
+            n=10,
+            t=3,
+            rounds=12,
+            seed=3,
+        )
+        assert cluster.min_committed_round() >= 10
+
+
+class TestLazyLeader:
+    def test_lazy_leader_stalls_commands_not_rounds(self):
+        """A lazy leader still moves the chain, just with empty payloads
+        (the 'not as useful' degradation the paper describes)."""
+
+        def source(party, round, chain):
+            return Payload(commands=(b"real-command",))
+
+        lazy = corrupt_class(ICC0Party, LazyLeaderMixin)
+        cluster = run_with_corrupt(
+            {1: lazy, 2: lazy}, rounds=15, payload_source=source
+        )
+        assert cluster.min_committed_round() >= 13
+        log = cluster.party(3).output_log
+        lazy_blocks = [b for b in log if b.proposer in (1, 2)]
+        honest_blocks = [b for b in log if b.proposer not in (1, 2)]
+        assert all(not b.payload.commands for b in lazy_blocks)
+        assert all(b.payload.commands for b in honest_blocks)
+
+
+class TestSlowProposer:
+    def test_slow_leaders_delay_but_do_not_stop_rounds(self):
+        slow = corrupt_class(ICC0Party, SlowProposerMixin)
+        slow.propose_lag = 2.0
+        cluster = run_with_corrupt({1: slow, 2: slow}, rounds=10, timeout=600)
+        assert cluster.min_committed_round() >= 8
+        # Some rounds were slow (the attacker-led ones), but bounded by
+        # the fallback: other parties propose after Δprop(rank).
+        durations = cluster.metrics.round_durations(3)
+        assert max(durations.values()) < 2.5
+
+
+class TestBeyondThreshold:
+    def test_too_many_aggressive_parties_can_violate_safety_or_not(self):
+        """With 2t corrupt (> n/3) the safety argument no longer holds.
+
+        We don't assert a violation happens (the attack here is not
+        optimally coordinated), only that the machinery *detects* one if
+        it does — the run must either stay safe or raise/flag divergence,
+        never silently diverge.
+        """
+        from repro.core.icc0 import SafetyViolation
+
+        attacker = corrupt_class(ICC0Party, AggressiveByzantineMixin)
+        config = ClusterConfig(
+            n=7,
+            t=2,  # keyring thresholds stay at t=2 (quorum 5)...
+            delta_bound=0.3,
+            epsilon=0.01,
+            delay_model=FixedDelay(0.05),
+            max_rounds=10,
+            seed=9,
+            corrupt={1: attacker, 2: attacker},
+        )
+        cluster = build_cluster(config)
+        cluster.start()
+        try:
+            cluster.run_for(60.0)
+            cluster.check_safety()
+        except (SafetyViolation, AssertionError):
+            pass  # detected divergence is acceptable beyond threshold

@@ -1,0 +1,127 @@
+"""Theory-vs-simulation: the analytical models must predict the simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    commit_gap_quantile,
+    expected_commit_gap,
+    expected_first_honest_rank,
+    first_honest_rank_distribution,
+    round_duration_synchronous,
+    round_duration_with_silent_parties,
+    synchronous_messages_per_round,
+)
+from repro.core import ClusterConfig, build_cluster
+from repro.sim.delays import FixedDelay
+
+
+class TestClosedForms:
+    def test_rank_distribution_sums_to_one(self):
+        for n, t in ((4, 1), (13, 4), (40, 13)):
+            assert sum(first_honest_rank_distribution(n, t)) == pytest.approx(1.0)
+
+    def test_expected_first_honest_rank_closed_form(self):
+        """E = t/(n-t+1): check the distribution against the closed form."""
+        for n, t in ((4, 1), (13, 4), (40, 13), (100, 33)):
+            assert expected_first_honest_rank(n, t) == pytest.approx(t / (n - t + 1))
+
+    def test_no_faults_degenerate(self):
+        assert expected_first_honest_rank(10, 0) == 0.0
+        assert expected_commit_gap(10, 0) == 1.0
+        assert commit_gap_quantile(10, 0) == 1
+
+    def test_commit_gap_grows_with_t(self):
+        assert expected_commit_gap(13, 4) > expected_commit_gap(13, 1)
+
+    def test_quantile_is_log_n_scale(self):
+        import math
+
+        for n in (7, 13, 40, 100):
+            t = (n - 1) // 3
+            q = commit_gap_quantile(n, t, confidence=0.999)
+            assert q <= 3 * math.log2(n) + 4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            expected_commit_gap(9, 3)
+
+
+class TestTheoryMatchesSimulation:
+    def test_round_duration_model(self):
+        delta, epsilon = 0.05, 0.02
+        config = ClusterConfig(
+            n=7, t=2, delta_bound=0.5, epsilon=epsilon,
+            delay_model=FixedDelay(delta), max_rounds=12, seed=1,
+        )
+        cluster = build_cluster(config)
+        cluster.start()
+        cluster.run_until_all_committed_round(10, timeout=60)
+        durations = cluster.metrics.round_durations(1)
+        steady = [v for k, v in durations.items() if 2 <= k <= 10]
+        predicted = round_duration_synchronous(delta, epsilon)
+        assert sum(steady) / len(steady) == pytest.approx(predicted, rel=0.05)
+
+    def test_silent_party_model(self):
+        """The Table 1 failure-scenario model predicts the slowdown."""
+        delta, epsilon, bound = 0.05, 0.02, 0.5
+        n, t = 10, 3
+        config = ClusterConfig(
+            n=n, t=t, delta_bound=bound, epsilon=epsilon,
+            delay_model=FixedDelay(delta), max_rounds=60, seed=2,
+            corrupt={i: None for i in range(1, t + 1)},
+        )
+        cluster = build_cluster(config)
+        cluster.start()
+        cluster.run_for(200.0)
+        observer = cluster.honest_parties[0].index
+        durations = cluster.metrics.round_durations(observer)
+        steady = [v for k, v in durations.items() if k >= 2]
+        measured = sum(steady) / len(steady)
+        predicted = round_duration_with_silent_parties(delta, epsilon, bound, n, t)
+        assert measured == pytest.approx(predicted, rel=0.25)
+
+    def test_message_complexity_constant(self):
+        config = ClusterConfig(
+            n=10, t=3, delta_bound=0.3, epsilon=0.01,
+            delay_model=FixedDelay(0.05), max_rounds=10, seed=3,
+        )
+        cluster = build_cluster(config)
+        cluster.start()
+        cluster.run_until_all_committed_round(8, timeout=60)
+        measured = sum(cluster.metrics.messages_in_round(k) for k in range(2, 9)) / 7
+        assert measured == pytest.approx(synchronous_messages_per_round(10), rel=0.05)
+
+    def test_traffic_model_exact(self):
+        """The per-party egress model matches the simulator to the byte."""
+        from repro.analysis import icc0_bytes_per_party_per_round
+        from repro.core.messages import Payload
+
+        payload = Payload(commands=(b"0123456789",))
+        config = ClusterConfig(
+            n=7, t=2, delta_bound=0.5, epsilon=0.01,
+            delay_model=FixedDelay(0.05), max_rounds=40, seed=6,
+            payload_source=lambda p, r, c: payload,
+        )
+        cluster = build_cluster(config)
+        cluster.start()
+        cluster.run_until_all_committed_round(40, timeout=120)
+        predicted = icc0_bytes_per_party_per_round(7, payload.wire_size())
+        # Average over many rounds to wash out the boot round's missing
+        # parent notarization and the final partial round.
+        measured = sum(cluster.metrics.bytes_sent.values()) / 7 / 40
+        assert measured == pytest.approx(predicted, rel=0.02)
+
+    def test_commit_gap_bounded_by_theory(self):
+        from repro.adversary import (
+            AggressiveByzantineMixin,
+            WithholdFinalizationMixin,
+            corrupt_class,
+        )
+        from repro.core.icc0 import ICC0Party
+        from repro.experiments.round_complexity import run_one
+
+        result = run_one(13, rounds=80, seed=11)
+        assert result.mean_gap <= expected_commit_gap(13, 4) + 0.5
+        assert result.max_gap <= commit_gap_quantile(13, 4, confidence=0.9999) + 2

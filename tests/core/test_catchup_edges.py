@@ -1,0 +1,104 @@
+"""Edge cases of the catch-up subprotocol's requester and responder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClusterConfig, build_cluster
+from repro.core.catchup import BeaconLink, CatchupParty, SyncRequest, SyncResponse
+from repro.sim.delays import FixedDelay
+
+
+def ready_cluster(rounds=8, seed=1, gc_depth=None):
+    config = ClusterConfig(
+        n=4, t=1, delta_bound=0.5, epsilon=0.01,
+        delay_model=FixedDelay(0.05), seed=seed, gc_depth=gc_depth,
+        max_rounds=rounds, party_class=CatchupParty,
+        extra_party_kwargs=dict(lag_threshold=4, request_cooldown=1.0),
+    )
+    cluster = build_cluster(config)
+    cluster.start()
+    cluster.run_until_all_committed_round(rounds - 1, timeout=120)
+    return cluster
+
+
+class TestResponderEdges:
+    def test_own_request_ignored(self):
+        cluster = ready_cluster()
+        party = cluster.party(1)
+        before = cluster.metrics.counters.get("sync-responses", 0)
+        party._serve_sync(SyncRequest(requester=1, committed_round=0))
+        assert cluster.metrics.counters.get("sync-responses", 0) == before
+
+    def test_serves_full_history_when_unpruned(self):
+        cluster = ready_cluster()
+        donor = cluster.party(1)
+        donor._serve_sync(SyncRequest(requester=2, committed_round=0))
+        assert cluster.metrics.counters.get("sync-responses", 0) >= 1
+
+    def test_wire_sizes_positive(self):
+        cluster = ready_cluster()
+        donor = cluster.party(1)
+        tip = donor.output_log[-1]
+        response = SyncResponse(
+            responder=1,
+            from_round=0,
+            beacon_chain=(BeaconLink(round=1, signature="s"),),
+            certificates=(),
+            finalization=donor.pool.finalization_of(tip.hash)
+            or donor.pool.notarization_of(tip.hash),
+        )
+        assert response.wire_size() > 0
+        assert SyncRequest(requester=1, committed_round=3).wire_size() == 12
+
+
+class TestRequesterEdges:
+    def test_stale_response_ignored(self):
+        cluster = ready_cluster()
+        party = cluster.party(2)
+        k_before = party.k_max
+        stale = SyncResponse(
+            responder=1, from_round=0, beacon_chain=(), certificates=(),
+            finalization=None,
+        )
+        party._apply_sync(stale)  # no certificates: nothing to do
+        assert party.k_max == k_before
+
+    def test_disconnected_beacon_chain_discarded(self):
+        cluster = ready_cluster()
+        donor = cluster.party(1)
+        victim = cluster.party(2)
+        tip = donor.output_log[-1]
+        cert = None
+        from repro.core.catchup import RoundCertificate
+
+        cert = RoundCertificate(
+            block=tip,
+            authenticator=donor.pool.authenticator_of(tip.hash),
+            notarization=donor.pool.notarization_of(tip.hash),
+        )
+        # Beacon link for a far-future round whose predecessor is unknown.
+        bogus = SyncResponse(
+            responder=1,
+            from_round=0,
+            beacon_chain=(BeaconLink(round=999, signature="junk"),),
+            certificates=(cert,),
+            finalization=donor.pool.finalization_of(tip.hash),
+        )
+        from repro.core.messages import ROOT_HASH
+
+        # Make the tip look ahead of the victim so the body runs.
+        victim.k_max = 0
+        victim._committed_tip = ROOT_HASH
+        victim._apply_sync(bogus)
+        # The broken chain aborts before any beacon value is adopted.
+        assert victim.pool.beacon_value(999) is None
+
+    def test_request_counter_monotone(self):
+        cluster = ready_cluster()
+        party = cluster.party(3)
+        party._highest_round_seen = party.round + 100
+        party._maybe_request_sync()
+        first = cluster.metrics.counters.get("sync-requests", 0)
+        party._maybe_request_sync()  # cooldown blocks the second
+        assert cluster.metrics.counters.get("sync-requests", 0) == first

@@ -1,0 +1,107 @@
+"""Tests for equivocation evidence (accountability)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import EquivocatingProposerMixin, corrupt_class
+from repro.core import ClusterConfig, build_cluster
+from repro.core.evidence import (
+    EquivocationEvidence,
+    attach_monitors,
+    verify_evidence,
+)
+from repro.core.icc0 import ICC0Party
+from repro.core.messages import Authenticator, Payload
+from repro.sim.delays import FixedDelay
+from tests.core.test_pool import Forge
+
+
+class TestVerification:
+    def test_valid_evidence(self):
+        forge = Forge()
+        block_a = forge.block(round=1, proposer=2, payload=Payload(commands=(b"a",)))
+        block_b = forge.block(round=1, proposer=2)
+        evidence = EquivocationEvidence(
+            round=1, proposer=2, first=forge.auth(block_a), second=forge.auth(block_b)
+        )
+        assert verify_evidence(forge.rings[0], evidence)
+
+    def test_same_block_twice_is_not_evidence(self):
+        forge = Forge()
+        block = forge.block(round=1, proposer=2)
+        evidence = EquivocationEvidence(
+            round=1, proposer=2, first=forge.auth(block), second=forge.auth(block)
+        )
+        assert not verify_evidence(forge.rings[0], evidence)
+
+    def test_forged_signature_rejected(self):
+        forge = Forge()
+        block_a = forge.block(round=1, proposer=2, payload=Payload(commands=(b"a",)))
+        block_b = forge.block(round=1, proposer=2)
+        real = forge.auth(block_a)
+        # Frame party 3 with party 2's signature.
+        framed = Authenticator(
+            round=1, proposer=3, block_hash=block_b.hash, signature=real.signature
+        )
+        evidence = EquivocationEvidence(round=1, proposer=3, first=real, second=framed)
+        assert not verify_evidence(forge.rings[0], evidence)
+
+    def test_mismatched_round_rejected(self):
+        forge = Forge()
+        block_a = forge.block(round=1, proposer=2, payload=Payload(commands=(b"a",)))
+        block_b = forge.block(round=2, proposer=2)
+        evidence = EquivocationEvidence(
+            round=1, proposer=2, first=forge.auth(block_a), second=forge.auth(block_b)
+        )
+        assert not verify_evidence(forge.rings[0], evidence)
+
+
+class TestMonitor:
+    def run_with_equivocators(self, equivocators=(1,), rounds=10, seed=4):
+        equiv = corrupt_class(ICC0Party, EquivocatingProposerMixin)
+        config = ClusterConfig(
+            n=7, t=2, delta_bound=0.3, epsilon=0.01,
+            delay_model=FixedDelay(0.05), max_rounds=rounds, seed=seed,
+            corrupt={i: equiv for i in equivocators},
+        )
+        cluster = build_cluster(config)
+        monitors = attach_monitors(cluster)
+        cluster.start()
+        cluster.run_until_all_committed_round(rounds - 2, timeout=300)
+        cluster.check_safety()
+        return cluster, monitors
+
+    def test_equivocator_caught_by_every_monitor(self):
+        cluster, monitors = self.run_with_equivocators(equivocators=(1,))
+        # Equivocating proposals happen every round party 1 proposes; every
+        # honest party that saw both twins holds the same verdict.
+        culprit_sets = [m.culprits() for m in monitors if m.evidence]
+        assert culprit_sets, "nobody collected evidence"
+        for culprits in culprit_sets:
+            assert culprits == {1}
+
+    def test_evidence_is_transferable(self):
+        """Evidence collected by one party verifies under another's keys."""
+        cluster, monitors = self.run_with_equivocators(equivocators=(1,))
+        collector = next(m for m in monitors if m.evidence)
+        other_keys = cluster.party(7).keys
+        for evidence in collector.evidence:
+            assert verify_evidence(other_keys, evidence)
+
+    def test_no_false_accusations_in_clean_run(self):
+        config = ClusterConfig(
+            n=7, t=2, delta_bound=0.3, epsilon=0.01,
+            delay_model=FixedDelay(0.05), max_rounds=10, seed=5,
+        )
+        cluster = build_cluster(config)
+        monitors = attach_monitors(cluster)
+        cluster.start()
+        cluster.run_until_all_committed_round(8, timeout=120)
+        assert all(not m.evidence for m in monitors)
+
+    def test_one_report_per_round_per_culprit(self):
+        cluster, monitors = self.run_with_equivocators(equivocators=(1, 2), rounds=12)
+        for monitor in monitors:
+            keys = [(e.round, e.proposer) for e in monitor.evidence]
+            assert len(keys) == len(set(keys))

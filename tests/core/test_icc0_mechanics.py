@@ -1,0 +1,233 @@
+"""Fine-grained tests of Figure 1's clause mechanics.
+
+These drive a single ICC0 party directly (messages injected by hand) to
+pin down behaviours integration tests can't isolate: rank priority, the
+disqualification rule, echo-at-most-twice, the finalization-share guard
+N ⊆ {B}, and beacon pipelining.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClusterConfig, build_cluster
+from repro.core import messages as msg
+from repro.core.messages import (
+    Authenticator,
+    BeaconShare,
+    Block,
+    NotarizationShare,
+    Payload,
+    ROOT_HASH,
+)
+from repro.sim.delays import FixedDelay
+
+
+def build_single_observed_cluster(n=4, t=1, epsilon=0.01, delta_bound=0.5, seed=2):
+    # seed=2 puts the observed party (index 1) at rank 3 in round 1, so its
+    # own proposal never pre-empts the blocks the tests inject.
+    """A cluster where party 1 is honest and the rest are crash-silent,
+    so the test fully controls what party 1 sees."""
+    config = ClusterConfig(
+        n=n,
+        t=t,
+        delta_bound=delta_bound,
+        epsilon=epsilon,
+        delay_model=FixedDelay(0.01),
+        seed=seed,
+        corrupt={i: None for i in range(2, min(t + 2, n + 1))},
+    )
+    return build_cluster(config)
+
+
+class Driver:
+    """Crafts correctly-signed artifacts from other parties' keyrings."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.rings = cluster.keyrings
+        self.subject = cluster.party(1)
+
+    def start_subject(self):
+        self.subject.start()
+
+    def feed_beacon(self, round):
+        """Give the subject enough foreign beacon shares for ``round``."""
+        previous = self.subject.pool.beacon_value(round - 1)
+        assert previous is not None
+        signed = msg.beacon_message(round, previous)
+        for ring in self.rings[1 : self.cluster.params.t + 1]:
+            share = BeaconShare(
+                round=round, signer=ring.index, share=ring.sign_beacon_share(signed)
+            )
+            self.subject.on_receive(share)
+
+    def make_block(self, round, proposer, parent_hash=ROOT_HASH, tag=b""):
+        block = Block(
+            round=round,
+            proposer=proposer,
+            parent_hash=parent_hash,
+            payload=Payload(commands=(tag,)) if tag else Payload(),
+        )
+        signed = msg.authenticator_message(round, proposer, block.hash)
+        auth = Authenticator(
+            round=round,
+            proposer=proposer,
+            block_hash=block.hash,
+            signature=self.rings[proposer - 1].sign_auth(signed),
+        )
+        return block, auth
+
+    def feed_block(self, block, auth):
+        self.subject.on_receive(block)
+        self.subject.on_receive(auth)
+
+    def rank_of(self, proposer):
+        return self.subject.ranks.rank_of(proposer)
+
+    def run(self, seconds):
+        self.cluster.sim.run(until=self.cluster.sim.now + seconds)
+
+
+@pytest.fixture
+def driver():
+    cluster = build_single_observed_cluster()
+    d = Driver(cluster)
+    d.start_subject()
+    d.feed_beacon(1)
+    d.run(0.001)
+    assert d.subject.round == 1 and not d.subject.waiting_beacon
+    return d
+
+
+class TestRankPriority:
+    def test_lower_rank_block_preempts(self, driver):
+        """If a lower-ranked block is valid, a higher-ranked one is not
+        supported even after its Δntry elapsed."""
+        subject = driver.subject
+        proposers = sorted(range(1, 5), key=driver.rank_of)
+        low, high = proposers[0], proposers[-1]
+        if low == 1:
+            low = proposers[1]  # subject proposes by itself; use others
+        block_low, auth_low = driver.make_block(1, low, tag=b"low")
+        block_high, auth_high = driver.make_block(1, high, tag=b"high")
+        driver.feed_block(block_high, auth_high)
+        driver.feed_block(block_low, auth_low)
+        driver.run(5.0)  # all Δntry gates pass
+        assert block_low.hash in subject.notar_shared
+        assert block_high.hash not in subject.notar_shared
+
+    def test_higher_rank_supported_if_alone(self, driver):
+        subject = driver.subject
+        proposers = sorted(range(2, 5), key=driver.rank_of)
+        high = proposers[-1]
+        block, auth = driver.make_block(1, high, tag=b"only")
+        driver.feed_block(block, auth)
+        driver.run(10.0)
+        assert block.hash in subject.notar_shared
+
+    def test_ntry_gate_respected(self, driver):
+        """A rank-r block is not supported before Δntry(r)."""
+        subject = driver.subject
+        proposers = sorted(range(2, 5), key=driver.rank_of)
+        high = proposers[-1]
+        rank = driver.rank_of(high)
+        block, auth = driver.make_block(1, high, tag=b"late-gate")
+        driver.feed_block(block, auth)
+        gate = subject.delays.ntry(rank)
+        driver.run(gate * 0.5)
+        assert block.hash not in subject.notar_shared
+        driver.run(gate)
+        assert block.hash in subject.notar_shared
+
+
+class TestDisqualification:
+    def test_equivocating_rank_disqualified(self, driver):
+        subject = driver.subject
+        proposers = sorted(range(2, 5), key=driver.rank_of)
+        culprit = proposers[0]
+        rank = driver.rank_of(culprit)
+        twin_a, auth_a = driver.make_block(1, culprit, tag=b"twin-a")
+        twin_b, auth_b = driver.make_block(1, culprit, tag=b"twin-b")
+        driver.feed_block(twin_a, auth_a)
+        driver.run(3.0)
+        assert twin_a.hash in subject.notar_shared
+        driver.feed_block(twin_b, auth_b)
+        driver.run(0.5)
+        assert rank in subject.disqualified
+        assert twin_b.hash not in subject.notar_shared
+
+    def test_disqualified_rank_unblocks_next(self, driver):
+        """After disqualifying rank r, the next rank's block is supported."""
+        subject = driver.subject
+        proposers = sorted(range(2, 5), key=driver.rank_of)
+        culprit, fallback = proposers[0], proposers[1]
+        twin_a, auth_a = driver.make_block(1, culprit, tag=b"a")
+        twin_b, auth_b = driver.make_block(1, culprit, tag=b"b")
+        other, other_auth = driver.make_block(1, fallback, tag=b"fallback")
+        driver.feed_block(twin_a, auth_a)
+        driver.feed_block(twin_b, auth_b)
+        driver.feed_block(other, other_auth)
+        driver.run(6.0)
+        assert driver.rank_of(culprit) in subject.disqualified
+        assert other.hash in subject.notar_shared
+
+    def test_third_twin_not_echoed(self, driver):
+        """A party echoes at most 2 blocks of any given rank (Section 3.5)."""
+        subject = driver.subject
+        proposers = sorted(range(2, 5), key=driver.rank_of)
+        culprit = proposers[0]
+        before = subject.metrics.counters.get("blocks-echoed", 0)
+        for tag in (b"t1", b"t2", b"t3", b"t4"):
+            block, auth = driver.make_block(1, culprit, tag=tag)
+            driver.feed_block(block, auth)
+            driver.run(2.0)
+        echoed = subject.metrics.counters.get("blocks-echoed", 0) - before
+        assert echoed == 2
+
+
+class TestBeaconPipelining:
+    def test_share_for_next_round_broadcast_on_entry(self, driver):
+        """Entering round k immediately shares the round-(k+1) beacon."""
+        subject = driver.subject
+        assert subject.pool.beacon_share_count(2) >= 1  # own share present
+
+    def test_beacon_for_future_round_computable_early(self, driver):
+        """With t+1 shares for round 2, R_2 exists while still in round 1."""
+        driver.feed_beacon(2)
+        driver.run(0.01)
+        assert driver.subject.pool.beacon_value(2) is not None
+        assert driver.subject.round == 1  # still in round 1
+
+
+class TestFinalizationShareGuard:
+    def test_no_final_share_after_supporting_two_blocks(self):
+        """If N contains a block other than the notarized one, no
+        finalization share is sent (the N ⊆ {B} guard)."""
+        cluster = build_single_observed_cluster(epsilon=0.01)
+        d = Driver(cluster)
+        d.start_subject()
+        d.feed_beacon(1)
+        d.run(0.001)
+        subject = d.subject
+        proposers = sorted(range(2, 5), key=d.rank_of)
+        first, second = proposers[0], proposers[1]
+        block_a, auth_a = d.make_block(1, first, tag=b"a")
+        block_b, auth_b = d.make_block(1, second, tag=b"b")
+        # Subject supports block_a (and its own proposal may also be in N).
+        d.feed_block(block_a, auth_a)
+        d.run(5.0)
+        assert block_a.hash in subject.notar_shared
+        # Now block_b gets notarized by others (subject never shared it).
+        signed = msg.notarization_message(1, second, block_b.hash)
+        shares = [r.sign_notary_share(signed) for r in d.rings[1:4]]
+        agg = d.rings[0].combine_notary(signed, shares)
+        d.feed_block(block_b, auth_b)
+        before = subject.metrics.counters.get("finalization-shares-sent", 0)
+        subject.on_receive(
+            msg.Notarization(round=1, proposer=second, block_hash=block_b.hash, aggregate=agg)
+        )
+        d.run(0.1)
+        after = subject.metrics.counters.get("finalization-shares-sent", 0)
+        assert subject.round == 2  # round finished on the notarization
+        assert after == before  # but no finalization share was sent

@@ -1,0 +1,138 @@
+"""Tests for block and message structures (Section 3.4)."""
+
+from __future__ import annotations
+
+from repro.core.messages import (
+    Authenticator,
+    BeaconShare,
+    Block,
+    EMPTY_PAYLOAD,
+    Finalization,
+    FinalizationShare,
+    GENESIS_BEACON,
+    Notarization,
+    NotarizationShare,
+    Payload,
+    ROOT_BLOCK,
+    ROOT_HASH,
+    authenticator_message,
+    beacon_message,
+    finalization_message,
+    notarization_message,
+)
+from repro.crypto.hashing import DIGEST_SIZE
+
+
+def make_block(round=1, proposer=2, parent=ROOT_HASH, payload=EMPTY_PAYLOAD):
+    return Block(round=round, proposer=proposer, parent_hash=parent, payload=payload)
+
+
+class TestPayload:
+    def test_empty_size(self):
+        assert EMPTY_PAYLOAD.wire_size() == 4
+
+    def test_commands_counted(self):
+        p = Payload(commands=(b"abc", b"de"))
+        assert p.wire_size() == 4 + (4 + 3) + (4 + 2)
+
+    def test_filler_counted(self):
+        assert Payload(filler_bytes=1000).wire_size() == 1004
+
+    def test_digest_distinguishes_contents(self):
+        assert Payload(commands=(b"a",)).digest != Payload(commands=(b"b",)).digest
+        assert Payload(filler_bytes=1).digest != Payload(filler_bytes=2).digest
+
+    def test_digest_unambiguous_concatenation(self):
+        assert Payload(commands=(b"ab", b"c")).digest != Payload(commands=(b"a", b"bc")).digest
+
+
+class TestBlock:
+    def test_hash_depends_on_every_field(self):
+        base = make_block()
+        assert base.hash != make_block(round=2).hash
+        assert base.hash != make_block(proposer=3).hash
+        assert base.hash != make_block(parent=b"\x01" * DIGEST_SIZE).hash
+        assert base.hash != make_block(payload=Payload(commands=(b"x",))).hash
+
+    def test_hash_deterministic(self):
+        assert make_block().hash == make_block().hash
+
+    def test_wire_size_includes_payload(self):
+        small = make_block()
+        big = make_block(payload=Payload(filler_bytes=10_000))
+        assert big.wire_size() - small.wire_size() == 10_000
+
+    def test_root_block(self):
+        assert ROOT_BLOCK.round == 0
+        assert ROOT_BLOCK.proposer == 0
+        assert ROOT_BLOCK.hash == ROOT_HASH
+
+
+class TestSignedMessages:
+    def test_domain_separation(self):
+        """The same triple signed for different purposes must differ."""
+        h = make_block().hash
+        messages = {
+            authenticator_message(1, 2, h),
+            notarization_message(1, 2, h),
+            finalization_message(1, 2, h),
+        }
+        assert len(messages) == 3
+
+    def test_beacon_message_binds_round(self):
+        assert beacon_message(1, GENESIS_BEACON) != beacon_message(2, GENESIS_BEACON)
+
+    def test_beacon_message_binds_previous(self):
+        assert beacon_message(1, b"a" * 32) != beacon_message(1, b"b" * 32)
+
+
+class TestEqualityForDedup:
+    """Message equality ignores the (randomized) signature object, so pools
+    and gossip can dedup semantically-identical artifacts."""
+
+    def test_notarization_share_equality(self):
+        h = make_block().hash
+        a = NotarizationShare(round=1, proposer=2, block_hash=h, signer=3, share="s1")
+        b = NotarizationShare(round=1, proposer=2, block_hash=h, signer=3, share="s2")
+        assert a == b
+
+    def test_different_signers_differ(self):
+        h = make_block().hash
+        a = NotarizationShare(round=1, proposer=2, block_hash=h, signer=3, share="s")
+        b = NotarizationShare(round=1, proposer=2, block_hash=h, signer=4, share="s")
+        assert a != b
+
+    def test_notarization_equality(self):
+        h = make_block().hash
+        assert Notarization(1, 2, h, "agg1") == Notarization(1, 2, h, "agg2")
+
+    def test_beacon_share_equality(self):
+        assert BeaconShare(round=1, signer=2, share="x") == BeaconShare(round=1, signer=2, share="y")
+
+
+class TestWireSizes:
+    def test_all_small_messages_are_small(self):
+        """Shares/aggregates are λ-sized objects, far below block sizes."""
+        h = make_block().hash
+        for message in (
+            Authenticator(1, 2, h, "sig"),
+            NotarizationShare(1, 2, h, 3, "s"),
+            Notarization(1, 2, h, "agg"),
+            FinalizationShare(1, 2, h, 3, "s"),
+            Finalization(1, 2, h, "agg"),
+            BeaconShare(1, 2, "s"),
+        ):
+            assert 0 < message.wire_size() <= 120
+
+    def test_kind_labels_unique(self):
+        h = make_block().hash
+        kinds = {
+            make_block().kind,
+            Authenticator(1, 2, h, "s").kind,
+            NotarizationShare(1, 2, h, 3, "s").kind,
+            Notarization(1, 2, h, "a").kind,
+            FinalizationShare(1, 2, h, 3, "s").kind,
+            Finalization(1, 2, h, "a").kind,
+            BeaconShare(1, 2, "s").kind,
+        }
+        assert len(kinds) == 7

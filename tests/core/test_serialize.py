@@ -1,0 +1,79 @@
+"""Tests for canonical block serialization (ICC2's wire format)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import Block, Payload, ROOT_HASH
+from repro.core.serialize import DeserializeError, deserialize_block, serialize_block
+
+
+def make_block(commands=(), filler=0, round=3, proposer=2):
+    return Block(
+        round=round,
+        proposer=proposer,
+        parent_hash=ROOT_HASH,
+        payload=Payload(commands=tuple(commands), filler_bytes=filler),
+    )
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        block = make_block()
+        assert deserialize_block(serialize_block(block)) == block
+
+    def test_commands(self):
+        block = make_block(commands=(b"put x 1", b"", b"\x00\xff" * 10))
+        restored = deserialize_block(serialize_block(block))
+        assert restored == block
+        assert restored.hash == block.hash
+
+    def test_filler(self):
+        block = make_block(filler=5000)
+        data = serialize_block(block)
+        assert len(data) >= 5000
+        assert deserialize_block(data) == block
+
+    @given(
+        st.lists(st.binary(max_size=64), max_size=8),
+        st.integers(min_value=0, max_value=2048),
+        st.integers(min_value=1, max_value=1_000_000),
+        st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, commands, filler, round, proposer):
+        block = make_block(commands=commands, filler=filler, round=round, proposer=proposer)
+        assert deserialize_block(serialize_block(block)) == block
+
+
+class TestMalformed:
+    def test_bad_magic(self):
+        data = bytearray(serialize_block(make_block()))
+        data[0] ^= 0xFF
+        with pytest.raises(DeserializeError):
+            deserialize_block(bytes(data))
+
+    def test_truncated(self):
+        data = serialize_block(make_block(commands=(b"hello world",)))
+        with pytest.raises(DeserializeError):
+            deserialize_block(data[: len(data) - 3])
+
+    def test_trailing_garbage(self):
+        data = serialize_block(make_block())
+        with pytest.raises(DeserializeError):
+            deserialize_block(data + b"extra")
+
+    def test_command_length_overflow(self):
+        block = make_block(commands=(b"abcd",))
+        data = bytearray(serialize_block(block))
+        # Corrupt the command length prefix to point past the end.
+        offset = 60
+        data[offset : offset + 4] = (2**31).to_bytes(4, "big")
+        with pytest.raises(DeserializeError):
+            deserialize_block(bytes(data))
+
+    def test_empty_input(self):
+        with pytest.raises(DeserializeError):
+            deserialize_block(b"")

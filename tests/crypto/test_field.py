@@ -1,0 +1,123 @@
+"""Unit and property tests for prime-field arithmetic."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.field import PrimeField, is_probable_prime
+
+Q = 2**61 - 1  # a Mersenne prime, handy as a test modulus
+FIELD = PrimeField(Q)
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 97, 257, 7919):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 6, 9, 100, 561, 7917):  # 561 is a Carmichael number
+            assert not is_probable_prime(c)
+
+    def test_carmichael_numbers_rejected(self):
+        for c in (561, 1105, 1729, 2465, 2821, 6601, 8911):
+            assert not is_probable_prime(c)
+
+    def test_large_prime(self):
+        assert is_probable_prime(2**127 - 1)
+
+    def test_large_composite(self):
+        assert not is_probable_prime((2**61 - 1) * (2**31 - 1))
+
+
+class TestFieldBasics:
+    def test_rejects_composite_modulus(self):
+        with pytest.raises(ValueError):
+            PrimeField(100)
+
+    def test_add_sub_roundtrip(self):
+        assert FIELD.sub(FIELD.add(5, 7), 7) == 5
+
+    def test_neg(self):
+        assert FIELD.add(3, FIELD.neg(3)) == 0
+
+    def test_inv(self):
+        for a in (1, 2, 12345, Q - 1):
+            assert FIELD.mul(a, FIELD.inv(a)) == 1
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            FIELD.inv(0)
+
+    def test_div(self):
+        assert FIELD.div(FIELD.mul(7, 9), 9) == 7
+
+    def test_pow_matches_builtin(self):
+        assert FIELD.pow(3, 100) == pow(3, 100, Q)
+
+    def test_reduce(self):
+        assert FIELD.reduce(Q + 5) == 5
+        assert FIELD.reduce(-1) == Q - 1
+
+    def test_random_in_range(self):
+        rng = Random(1)
+        for _ in range(100):
+            assert 0 <= FIELD.random(rng) < Q
+            assert 1 <= FIELD.random_nonzero(rng) < Q
+
+
+class TestPolynomials:
+    def test_eval_constant(self):
+        assert FIELD.eval_poly([42], 17) == 42
+
+    def test_eval_linear(self):
+        # f(x) = 3 + 5x
+        assert FIELD.eval_poly([3, 5], 2) == 13
+
+    def test_eval_matches_horner_by_hand(self):
+        coeffs = [1, 2, 3]  # 1 + 2x + 3x^2
+        assert FIELD.eval_poly(coeffs, 10) == (1 + 20 + 300) % Q
+
+
+class TestLagrange:
+    def test_two_points_line(self):
+        # f(x) = 10 + 7x; f(1)=17, f(2)=24; recover f(0)=10.
+        lams = FIELD.lagrange_coefficients_at_zero([1, 2])
+        value = (lams[0] * 17 + lams[1] * 24) % Q
+        assert value == 10
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError):
+            FIELD.lagrange_coefficients_at_zero([1, 1])
+
+    def test_zero_point_rejected(self):
+        with pytest.raises(ValueError):
+            FIELD.lagrange_coefficients_at_zero([0, 1])
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=Q - 1), min_size=1, max_size=5),
+        st.sets(st.integers(min_value=1, max_value=1000), min_size=5, max_size=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_interpolation_recovers_f0(self, coeffs, xs):
+        """Any deg-(k-1) polynomial is recovered from >= k points."""
+        if len(xs) < len(coeffs):
+            return
+        points = sorted(xs)[: max(len(coeffs), 2)]
+        lams = FIELD.lagrange_coefficients_at_zero(points)
+        acc = 0
+        for lam, x in zip(lams, points):
+            acc = (acc + lam * FIELD.eval_poly(coeffs, x)) % Q
+        assert acc == coeffs[0] % Q
+
+    @given(st.integers(min_value=2, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_coefficients_sum_to_one(self, k):
+        """Interpolating the constant polynomial 1 must give 1."""
+        points = list(range(1, k + 1))
+        lams = FIELD.lagrange_coefficients_at_zero(points)
+        assert sum(lams) % Q == 1

@@ -1,0 +1,123 @@
+"""Backend-parity tests: the fast and real keyrings must be interchangeable.
+
+Every behaviour the protocol observes is tested against both backends via
+parametrized fixtures — this is what justifies running large experiments on
+the fast backend (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keyring import generate_keyrings
+
+
+@pytest.fixture(params=["fast", "real"], scope="module")
+def rings(request):
+    return generate_keyrings(4, 1, seed=5, backend=request.param)
+
+
+class TestAuth:
+    def test_sign_verify(self, rings):
+        sig = rings[0].sign_auth(b"block")
+        assert rings[1].verify_auth(1, b"block", sig)
+
+    def test_wrong_signer_rejected(self, rings):
+        sig = rings[0].sign_auth(b"block")
+        assert not rings[1].verify_auth(2, b"block", sig)
+
+    def test_wrong_message_rejected(self, rings):
+        sig = rings[0].sign_auth(b"block")
+        assert not rings[1].verify_auth(1, b"other", sig)
+
+    def test_out_of_range_signer_rejected(self, rings):
+        sig = rings[0].sign_auth(b"block")
+        assert not rings[1].verify_auth(0, b"block", sig)
+        assert not rings[1].verify_auth(5, b"block", sig)
+
+
+class TestNotaryAndFinal:
+    def test_notary_quorum_roundtrip(self, rings):
+        m = b"notarize-me"
+        shares = [r.sign_notary_share(m) for r in rings[:3]]  # n - t = 3
+        assert all(rings[0].verify_notary_share(m, s) for s in shares)
+        agg = rings[0].combine_notary(m, shares)
+        assert rings[3].verify_notary(m, agg)
+
+    def test_notary_under_quorum_raises(self, rings):
+        m = b"notarize-me"
+        shares = [r.sign_notary_share(m) for r in rings[:2]]
+        with pytest.raises(ValueError):
+            rings[0].combine_notary(m, shares)
+
+    def test_notary_aggregate_wrong_message(self, rings):
+        m = b"notarize-me"
+        agg = rings[0].combine_notary(m, [r.sign_notary_share(m) for r in rings[:3]])
+        assert not rings[1].verify_notary(b"else", agg)
+
+    def test_final_is_independent_instance(self, rings):
+        """A notary share must not verify as a finalization share."""
+        m = b"message"
+        notary_share = rings[0].sign_notary_share(m)
+        assert not rings[1].verify_final_share(m, notary_share)
+
+    def test_final_quorum_roundtrip(self, rings):
+        m = b"finalize-me"
+        shares = [r.sign_final_share(m) for r in rings[:3]]
+        agg = rings[0].combine_final(m, shares)
+        assert rings[2].verify_final(m, agg)
+
+
+class TestBeacon:
+    def test_quorum_is_t_plus_1(self, rings):
+        m = b"beacon-round-1"
+        shares = [r.sign_beacon_share(m) for r in rings[:2]]  # t + 1 = 2
+        sig = rings[0].combine_beacon(m, shares)
+        assert rings[3].verify_beacon(m, sig)
+
+    def test_value_unique_across_subsets(self, rings):
+        m = b"beacon-round-1"
+        a = rings[0].combine_beacon(m, [r.sign_beacon_share(m) for r in rings[:2]])
+        b = rings[0].combine_beacon(m, [r.sign_beacon_share(m) for r in rings[2:4]])
+        assert rings[0].beacon_value(a) == rings[0].beacon_value(b)
+
+    def test_values_differ_across_messages(self, rings):
+        a = rings[0].combine_beacon(
+            b"r1", [r.sign_beacon_share(b"r1") for r in rings[:2]]
+        )
+        b = rings[0].combine_beacon(
+            b"r2", [r.sign_beacon_share(b"r2") for r in rings[:2]]
+        )
+        assert rings[0].beacon_value(a) != rings[0].beacon_value(b)
+
+    def test_share_index(self, rings):
+        share = rings[2].sign_beacon_share(b"m")
+        assert rings[0].share_index(share) == 3
+
+    def test_single_share_insufficient(self, rings):
+        with pytest.raises(ValueError):
+            rings[0].combine_beacon(b"m", [rings[0].sign_beacon_share(b"m")])
+
+
+class TestFactory:
+    def test_t_bound_enforced(self):
+        with pytest.raises(ValueError):
+            generate_keyrings(3, 1)  # 3t >= n
+
+    def test_t_zero_allowed(self):
+        rings = generate_keyrings(3, 0)
+        assert len(rings) == 3
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            generate_keyrings(4, 1, backend="quantum")
+
+    def test_deterministic_per_seed(self):
+        a = generate_keyrings(4, 1, seed=1)
+        b = generate_keyrings(4, 1, seed=1)
+        assert a[0].sign_auth(b"x") == b[0].sign_auth(b"x")
+
+    def test_seeds_differ(self):
+        a = generate_keyrings(4, 1, seed=1)
+        b = generate_keyrings(4, 1, seed=2)
+        assert a[0].sign_auth(b"x") != b[0].sign_auth(b"x")

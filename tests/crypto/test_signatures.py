@@ -1,0 +1,131 @@
+"""Tests for Schnorr signatures, DLEQ proofs and unique signatures."""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.crypto import dleq, schnorr, unique
+
+
+class TestSchnorr:
+    def test_sign_verify(self, group, rng):
+        keys = schnorr.keygen(group, rng)
+        sig = schnorr.sign(group, keys.secret, b"hello", rng)
+        assert schnorr.verify(group, keys.public, b"hello", sig)
+
+    def test_wrong_message_rejected(self, group, rng):
+        keys = schnorr.keygen(group, rng)
+        sig = schnorr.sign(group, keys.secret, b"hello", rng)
+        assert not schnorr.verify(group, keys.public, b"goodbye", sig)
+
+    def test_wrong_key_rejected(self, group, rng):
+        keys = schnorr.keygen(group, rng)
+        other = schnorr.keygen(group, rng)
+        sig = schnorr.sign(group, keys.secret, b"hello", rng)
+        assert not schnorr.verify(group, other.public, b"hello", sig)
+
+    def test_tampered_response_rejected(self, group, rng):
+        keys = schnorr.keygen(group, rng)
+        sig = schnorr.sign(group, keys.secret, b"m", rng)
+        bad = schnorr.SchnorrSignature(sig.commitment, (sig.response + 1) % group.q)
+        assert not schnorr.verify(group, keys.public, b"m", bad)
+
+    def test_tampered_commitment_rejected(self, group, rng):
+        keys = schnorr.keygen(group, rng)
+        sig = schnorr.sign(group, keys.secret, b"m", rng)
+        bad = schnorr.SchnorrSignature(group.power_g(3), sig.response)
+        assert not schnorr.verify(group, keys.public, b"m", bad)
+
+    def test_out_of_range_values_rejected(self, group, rng):
+        keys = schnorr.keygen(group, rng)
+        sig = schnorr.sign(group, keys.secret, b"m", rng)
+        assert not schnorr.verify(
+            group, keys.public, b"m",
+            schnorr.SchnorrSignature(sig.commitment, group.q + sig.response),
+        )
+        assert not schnorr.verify(
+            group, keys.public, b"m", schnorr.SchnorrSignature(0, sig.response)
+        )
+
+    def test_signatures_are_randomized(self, group, rng):
+        keys = schnorr.keygen(group, rng)
+        a = schnorr.sign(group, keys.secret, b"m", rng)
+        b = schnorr.sign(group, keys.secret, b"m", rng)
+        assert a != b  # fresh nonce each time
+        assert schnorr.verify(group, keys.public, b"m", a)
+        assert schnorr.verify(group, keys.public, b"m", b)
+
+    def test_to_bytes_length(self, group, rng):
+        keys = schnorr.keygen(group, rng)
+        sig = schnorr.sign(group, keys.secret, b"m", rng)
+        q_width = (group.q.bit_length() + 7) // 8
+        p_width = (group.p.bit_length() + 7) // 8
+        assert len(sig.to_bytes(group)) == q_width + p_width
+
+
+class TestDleq:
+    def test_prove_verify(self, group, rng):
+        x = group.random_scalar(rng)
+        g2 = group.hash_to_group("base2", b"x")
+        proof = dleq.prove(group, x, group.g, g2, rng)
+        assert dleq.verify(
+            group, group.g, group.power_g(x), g2, group.power(g2, x), proof
+        )
+
+    def test_wrong_statement_rejected(self, group, rng):
+        x = group.random_scalar(rng)
+        y = (x + 1) % group.q
+        g2 = group.hash_to_group("base2", b"x")
+        proof = dleq.prove(group, x, group.g, g2, rng)
+        # B = g2^y with y != x: proof must not verify.
+        assert not dleq.verify(
+            group, group.g, group.power_g(x), g2, group.power(g2, y), proof
+        )
+
+    def test_tampered_proof_rejected(self, group, rng):
+        x = group.random_scalar(rng)
+        g2 = group.hash_to_group("base2", b"x")
+        proof = dleq.prove(group, x, group.g, g2, rng)
+        bad = dleq.DleqProof((proof.challenge + 1) % group.q, proof.response)
+        assert not dleq.verify(
+            group, group.g, group.power_g(x), g2, group.power(g2, x), bad
+        )
+
+    def test_non_element_inputs_rejected(self, group, rng):
+        x = group.random_scalar(rng)
+        g2 = group.hash_to_group("base2", b"x")
+        proof = dleq.prove(group, x, group.g, g2, rng)
+        assert not dleq.verify(group, 0, group.power_g(x), g2, group.power(g2, x), proof)
+
+
+class TestUniqueSignature:
+    def test_sign_verify(self, group, rng):
+        keys = schnorr.keygen(group, rng)
+        sig = unique.sign(group, keys.secret, b"msg", rng)
+        assert unique.verify(group, keys.public, b"msg", sig)
+
+    def test_value_is_unique(self, group, rng):
+        """The signature *value* is message+key determined (beacon property)."""
+        keys = schnorr.keygen(group, rng)
+        a = unique.sign(group, keys.secret, b"msg", rng)
+        b = unique.sign(group, keys.secret, b"msg", rng)
+        assert a.value == b.value
+        assert a.proof != b.proof  # proofs are randomized, values are not
+
+    def test_distinct_messages_distinct_values(self, group, rng):
+        keys = schnorr.keygen(group, rng)
+        a = unique.sign(group, keys.secret, b"m1", rng)
+        b = unique.sign(group, keys.secret, b"m2", rng)
+        assert a.value != b.value
+
+    def test_wrong_key_rejected(self, group, rng):
+        keys = schnorr.keygen(group, rng)
+        other = schnorr.keygen(group, rng)
+        sig = unique.sign(group, keys.secret, b"msg", rng)
+        assert not unique.verify(group, other.public, b"msg", sig)
+
+    def test_forged_value_rejected(self, group, rng):
+        keys = schnorr.keygen(group, rng)
+        sig = unique.sign(group, keys.secret, b"msg", rng)
+        forged = unique.UniqueSignature(value=group.power_g(7), proof=sig.proof)
+        assert not unique.verify(group, keys.public, b"msg", forged)

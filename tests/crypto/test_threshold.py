@@ -1,0 +1,123 @@
+"""Tests for the (t, h, n)-threshold unique-signature scheme (approach iii)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import threshold
+
+
+@pytest.fixture(scope="module")
+def setup(group):
+    from random import Random
+
+    rng = Random(99)
+    pk, keys = threshold.keygen(group, threshold=3, n=7, rng=rng)
+    return group, pk, keys, rng
+
+
+class TestKeygen:
+    def test_share_publics_match_secrets(self, setup):
+        group, pk, keys, _ = setup
+        for key in keys:
+            assert pk.share_public(key.index) == group.power_g(key.secret)
+
+    def test_master_public_consistent_with_shares(self, setup):
+        """Recombining share secrets gives the master secret (in exponent)."""
+        group, pk, keys, _ = setup
+        from repro.crypto.shamir import Share, reconstruct
+
+        secret = reconstruct(
+            group.scalar_field, [Share(k.index, k.secret) for k in keys[:3]]
+        )
+        assert group.power_g(secret) == pk.master_public
+
+
+class TestShares:
+    def test_share_sign_verify(self, setup):
+        group, pk, keys, rng = setup
+        share = threshold.sign_share(pk, keys[0], b"message", rng)
+        assert threshold.verify_share(pk, b"message", share)
+
+    def test_share_wrong_message_rejected(self, setup):
+        group, pk, keys, rng = setup
+        share = threshold.sign_share(pk, keys[0], b"message", rng)
+        assert not threshold.verify_share(pk, b"other", share)
+
+    def test_share_wrong_index_rejected(self, setup):
+        group, pk, keys, rng = setup
+        share = threshold.sign_share(pk, keys[0], b"m", rng)
+        forged = threshold.SignatureShare(index=2, value=share.value, proof=share.proof)
+        assert not threshold.verify_share(pk, b"m", forged)
+
+    def test_share_index_out_of_range_rejected(self, setup):
+        group, pk, keys, rng = setup
+        share = threshold.sign_share(pk, keys[0], b"m", rng)
+        forged = threshold.SignatureShare(index=99, value=share.value, proof=share.proof)
+        assert not threshold.verify_share(pk, b"m", forged)
+
+
+class TestCombine:
+    def test_combine_and_verify(self, setup):
+        group, pk, keys, rng = setup
+        shares = [threshold.sign_share(pk, k, b"m", rng) for k in keys[:3]]
+        sig = threshold.combine(pk, b"m", shares)
+        assert threshold.verify(pk, b"m", sig)
+
+    def test_uniqueness_across_share_subsets(self, setup):
+        """The combined value is identical for ANY valid share subset —
+        the property the random beacon depends on (Section 2.3)."""
+        group, pk, keys, rng = setup
+        a = threshold.combine(
+            pk, b"m", [threshold.sign_share(pk, k, b"m", rng) for k in keys[:3]]
+        )
+        b = threshold.combine(
+            pk, b"m", [threshold.sign_share(pk, k, b"m", rng) for k in keys[4:7]]
+        )
+        assert a.value == b.value
+
+    def test_value_is_master_signature(self, setup):
+        """Combined value equals H2(m)^master_sk (combination in exponent)."""
+        group, pk, keys, rng = setup
+        from repro.crypto.shamir import Share, reconstruct
+        from repro.crypto.unique import message_point
+
+        master = reconstruct(
+            group.scalar_field, [Share(k.index, k.secret) for k in keys[:3]]
+        )
+        sig = threshold.combine(
+            pk, b"m", [threshold.sign_share(pk, k, b"m", rng) for k in keys[:3]]
+        )
+        assert sig.value == group.power(message_point(group, b"m"), master)
+
+    def test_too_few_shares_raises(self, setup):
+        group, pk, keys, rng = setup
+        shares = [threshold.sign_share(pk, k, b"m", rng) for k in keys[:2]]
+        with pytest.raises(ValueError):
+            threshold.combine(pk, b"m", shares)
+
+    def test_duplicate_shares_dont_count(self, setup):
+        group, pk, keys, rng = setup
+        share = threshold.sign_share(pk, keys[0], b"m", rng)
+        with pytest.raises(ValueError):
+            threshold.combine(pk, b"m", [share, share, share])
+
+    def test_forged_combined_rejected(self, setup):
+        group, pk, keys, rng = setup
+        shares = [threshold.sign_share(pk, k, b"m", rng) for k in keys[:3]]
+        sig = threshold.combine(pk, b"m", shares)
+        forged = threshold.ThresholdSignature(value=group.power_g(5), shares=sig.shares)
+        assert not threshold.verify(pk, b"m", forged)
+
+    def test_combined_wrong_message_rejected(self, setup):
+        group, pk, keys, rng = setup
+        shares = [threshold.sign_share(pk, k, b"m", rng) for k in keys[:3]]
+        sig = threshold.combine(pk, b"m", shares)
+        assert not threshold.verify(pk, b"other", sig)
+
+    def test_verify_rejects_insufficient_carried_shares(self, setup):
+        group, pk, keys, rng = setup
+        shares = [threshold.sign_share(pk, k, b"m", rng) for k in keys[:3]]
+        sig = threshold.combine(pk, b"m", shares)
+        stripped = threshold.ThresholdSignature(value=sig.value, shares=sig.shares[:2])
+        assert not threshold.verify(pk, b"m", stripped)

@@ -1,0 +1,91 @@
+"""Property tests for GF(256) arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure import gf256
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestFieldLaws:
+    @given(elements, elements)
+    @settings(max_examples=100, deadline=None)
+    def test_mul_commutative(self, a, b):
+        assert gf256.mul(a, b) == gf256.mul(b, a)
+
+    @given(elements, elements, elements)
+    @settings(max_examples=100, deadline=None)
+    def test_mul_associative(self, a, b, c):
+        assert gf256.mul(gf256.mul(a, b), c) == gf256.mul(a, gf256.mul(b, c))
+
+    @given(elements, elements, elements)
+    @settings(max_examples=100, deadline=None)
+    def test_distributive(self, a, b, c):
+        assert gf256.mul(a, b ^ c) == gf256.mul(a, b) ^ gf256.mul(a, c)
+
+    @given(elements)
+    @settings(max_examples=50, deadline=None)
+    def test_identities(self, a):
+        assert gf256.mul(a, 1) == a
+        assert gf256.mul(a, 0) == 0
+        assert gf256.add(a, a) == 0  # characteristic 2
+
+    @given(nonzero)
+    @settings(max_examples=100, deadline=None)
+    def test_inverse(self, a):
+        assert gf256.mul(a, gf256.inv(a)) == 1
+
+    @given(elements, nonzero)
+    @settings(max_examples=100, deadline=None)
+    def test_div_mul_roundtrip(self, a, b):
+        assert gf256.mul(gf256.div(a, b), b) == a
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf256.inv(0)
+
+
+class TestPower:
+    @given(nonzero, st.integers(min_value=0, max_value=300))
+    @settings(max_examples=60, deadline=None)
+    def test_pow_matches_repeated_mul(self, a, e):
+        expected = 1
+        for _ in range(e % 255):
+            expected = gf256.mul(expected, a)
+        assert gf256.pow_(a, e) == expected
+
+    def test_generator_order(self):
+        """0x03 generates the full multiplicative group."""
+        seen = set()
+        x = 1
+        for _ in range(255):
+            seen.add(x)
+            x = gf256.mul(x, 0x03)
+        assert len(seen) == 255
+
+
+class TestVectorized:
+    @given(elements, st.binary(min_size=1, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_scalar_vec_matches_scalar(self, c, data):
+        vec = np.frombuffer(data, dtype=np.uint8)
+        out = gf256.mul_scalar_vec(c, vec)
+        for i, v in enumerate(vec):
+            assert out[i] == gf256.mul(c, int(v))
+
+    def test_xor_accumulate_in_place(self):
+        a = np.array([1, 2, 3], dtype=np.uint8)
+        b = np.array([3, 2, 1], dtype=np.uint8)
+        gf256.xor_accumulate(a, b)
+        assert list(a) == [2, 0, 2]
+
+    def test_mul_by_zero_and_one(self):
+        vec = np.array([5, 0, 255], dtype=np.uint8)
+        assert list(gf256.mul_scalar_vec(0, vec)) == [0, 0, 0]
+        assert list(gf256.mul_scalar_vec(1, vec)) == [5, 0, 255]

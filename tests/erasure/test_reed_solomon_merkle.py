@@ -1,0 +1,166 @@
+"""Tests for Reed–Solomon erasure coding and Merkle commitments."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure.merkle import MerkleProof, MerkleTree, verify_inclusion
+from repro.erasure.reed_solomon import (
+    CodecParams,
+    DecodeError,
+    decode,
+    encode,
+    shard_length,
+)
+
+
+class TestCodecParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CodecParams(0, 5)
+        with pytest.raises(ValueError):
+            CodecParams(6, 5)
+        with pytest.raises(ValueError):
+            CodecParams(1, 257)
+
+    def test_shard_length(self):
+        assert shard_length(10, 3) == 4
+        assert shard_length(9, 3) == 3
+        assert shard_length(0, 3) == 1  # minimum one byte
+
+
+class TestRoundTrip:
+    def test_systematic_prefix(self):
+        """The first k shards are the data itself (systematic code)."""
+        data = bytes(range(12))
+        shards = encode(data, CodecParams(3, 6))
+        assert b"".join(shards[:3]) == data
+
+    def test_decode_from_parity_only(self):
+        data = bytes(range(100))
+        params = CodecParams(4, 12)
+        shards = encode(data, params)
+        recovered = decode({i: shards[i] for i in range(8, 12)}, params, len(data))
+        assert recovered == data
+
+    def test_decode_mixed(self):
+        data = b"hello erasure coding world" * 10
+        params = CodecParams(5, 13)
+        shards = encode(data, params)
+        subset = {0: shards[0], 6: shards[6], 7: shards[7], 11: shards[11], 12: shards[12]}
+        assert decode(subset, params, len(data)) == data
+
+    def test_k_equals_m(self):
+        data = b"abc"
+        params = CodecParams(3, 3)
+        shards = encode(data, params)
+        assert decode(dict(enumerate(shards)), params, 3) == data
+
+    def test_k_one_replication(self):
+        data = b"xyz"
+        shards = encode(data, CodecParams(1, 4))
+        assert all(s == data for s in shards)
+
+    @given(
+        st.binary(min_size=0, max_size=500),
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=10),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, data, k, extra, pyrng):
+        m = k + extra
+        params = CodecParams(k, m)
+        shards = encode(data, params)
+        chosen = pyrng.sample(range(m), k)
+        assert decode({i: shards[i] for i in chosen}, params, len(data)) == data
+
+
+class TestDecodeErrors:
+    def test_too_few_shards(self):
+        params = CodecParams(3, 6)
+        shards = encode(b"data!", params)
+        with pytest.raises(DecodeError):
+            decode({0: shards[0], 1: shards[1]}, params, 5)
+
+    def test_wrong_length_shard(self):
+        params = CodecParams(3, 6)
+        shards = encode(b"data data data", params)
+        bad = {0: shards[0], 1: shards[1], 2: shards[2][:-1]}
+        with pytest.raises(DecodeError):
+            decode(bad, params, 14)
+
+    def test_out_of_range_index(self):
+        params = CodecParams(2, 4)
+        shards = encode(b"dddd", params)
+        with pytest.raises(DecodeError):
+            decode({0: shards[0], 9: shards[1]}, params, 4)
+
+    def test_corrupted_shard_gives_wrong_data(self):
+        """RS erasure decoding trusts its inputs — corruption detection is
+        the Merkle layer's job (as in the RBC protocol)."""
+        params = CodecParams(2, 4)
+        data = b"abcdefgh"
+        shards = encode(data, params)
+        tampered = bytes([shards[2][0] ^ 1]) + shards[2][1:]
+        out = decode({2: tampered, 3: shards[3]}, params, len(data))
+        assert out != data
+
+
+class TestMerkle:
+    def test_proofs_verify(self):
+        leaves = [bytes([i]) * 8 for i in range(7)]
+        tree = MerkleTree(leaves)
+        for i, leaf in enumerate(leaves):
+            assert verify_inclusion(tree.root, leaf, tree.proof(i))
+
+    def test_wrong_leaf_rejected(self):
+        leaves = [b"a", b"b", b"c", b"d"]
+        tree = MerkleTree(leaves)
+        assert not verify_inclusion(tree.root, b"x", tree.proof(1))
+
+    def test_wrong_position_rejected(self):
+        """Leaf hashes bind the index, so position swaps fail."""
+        leaves = [b"a", b"b", b"c", b"d"]
+        tree = MerkleTree(leaves)
+        proof = tree.proof(1)
+        moved = MerkleProof(leaf_index=2, siblings=proof.siblings)
+        assert not verify_inclusion(tree.root, b"b", moved)
+
+    def test_single_leaf(self):
+        tree = MerkleTree([b"only"])
+        assert verify_inclusion(tree.root, b"only", tree.proof(0))
+
+    def test_duplicate_tail_not_confusable(self):
+        """Odd trees duplicate the last node; the index binding prevents
+        proving the duplicate as a distinct leaf."""
+        leaves = [b"a", b"b", b"c"]
+        tree = MerkleTree(leaves)
+        proof = tree.proof(2)
+        forged = MerkleProof(leaf_index=3, siblings=proof.siblings)
+        assert not verify_inclusion(tree.root, b"c", forged)
+
+    def test_roots_differ(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"a", b"c"]).root
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"b", b"a"]).root
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MerkleTree([])
+
+    def test_out_of_range_proof(self):
+        with pytest.raises(IndexError):
+            MerkleTree([b"a"]).proof(1)
+
+    def test_proof_size_logarithmic(self):
+        tree = MerkleTree([bytes([i]) for i in range(64)])
+        assert len(tree.proof(0).siblings) == 6
+
+    @given(st.lists(st.binary(min_size=0, max_size=16), min_size=1, max_size=33))
+    @settings(max_examples=40, deadline=None)
+    def test_all_proofs_verify_property(self, leaves):
+        tree = MerkleTree(leaves)
+        for i, leaf in enumerate(leaves):
+            assert verify_inclusion(tree.root, leaf, tree.proof(i))

@@ -1,0 +1,211 @@
+"""Tests for the erasure-coded reliable broadcast subprotocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.erasure.merkle import MerkleTree
+from repro.erasure.reed_solomon import CodecParams, encode
+from repro.rbc.protocol import Fragment, RbcEndpoint, RbcMessage
+from repro.sim.delays import FixedDelay
+from repro.sim.metrics import Metrics
+from repro.sim.network import Network
+from repro.sim.simulator import Simulation
+
+
+class RbcHarness:
+    """n RBC endpoints on a shared network, recording deliveries."""
+
+    def __init__(self, n=7, t=2, delay=0.05, seed=0, fill_delay=0.1):
+        self.n, self.t = n, t
+        self.sim = Simulation(seed=seed)
+        self.network = Network(self.sim, n, FixedDelay(delay), Metrics(n=n))
+        self.delivered: dict[int, list[tuple[int, bytes]]] = {
+            i: [] for i in range(1, n + 1)
+        }
+        self.endpoints = {}
+        for i in range(1, n + 1):
+            endpoint = RbcEndpoint(
+                index=i,
+                n=n,
+                t=t,
+                network=self.network,
+                deliver=lambda dealer, root, data, i=i: self.delivered[i].append(
+                    (dealer, data)
+                ),
+                fill_delay=fill_delay,
+            )
+            self.endpoints[i] = endpoint
+            shim = type(
+                "Shim",
+                (),
+                {
+                    "index": i,
+                    "on_receive": lambda self_, m, ep=endpoint: ep.on_message(m),
+                },
+            )()
+            self.network.attach(shim)
+
+
+class TestHappyPath:
+    def test_all_parties_deliver(self):
+        h = RbcHarness()
+        data = b"the block bytes" * 100
+        h.endpoints[1].disperse(data)
+        h.sim.run()
+        for i in range(1, h.n + 1):
+            assert h.delivered[i] == [(1, data)]
+
+    def test_dealer_delivers_immediately(self):
+        h = RbcHarness()
+        h.endpoints[2].disperse(b"payload")
+        assert h.delivered[2] == [(2, b"payload")]
+
+    def test_delivery_latency_is_two_delta(self):
+        """Disperse (δ) + echo (δ): better latency than Cachin–Tessaro."""
+        delta = 0.05
+        h = RbcHarness(delay=delta)
+        h.endpoints[1].disperse(b"x" * 1000)
+        times = {}
+
+        def run_and_capture():
+            while h.sim.step():
+                for i in range(2, h.n + 1):
+                    if h.delivered[i] and i not in times:
+                        times[i] = h.sim.now
+
+        run_and_capture()
+        assert all(t == pytest.approx(2 * delta) for t in times.values())
+
+    def test_multiple_concurrent_instances(self):
+        h = RbcHarness()
+        h.endpoints[1].disperse(b"from one")
+        h.endpoints[2].disperse(b"from two")
+        h.sim.run()
+        for i in range(1, h.n + 1):
+            assert set(h.delivered[i]) == {(1, b"from one"), (2, b"from two")}
+
+    def test_duplicate_disperse_is_idempotent(self):
+        h = RbcHarness()
+        h.endpoints[1].disperse(b"same")
+        h.endpoints[1].disperse(b"same")
+        h.sim.run()
+        assert all(h.delivered[i].count((1, b"same")) == 1 for i in range(1, h.n + 1))
+
+    def test_no_fill_traffic_in_good_case(self):
+        h = RbcHarness(fill_delay=0.5)
+        h.endpoints[1].disperse(b"y" * 5000)
+        h.sim.run()
+        assert h.network.metrics.msgs_by_kind["rbc-fill"] == 0
+
+    def test_per_party_traffic_linear_in_s(self):
+        """Each party sends O(S): non-dealers echo ≈ n·S/(t+1) ≈ 2.5·S,
+        the dealer additionally pays the initial dispersal (≈ 2× that)."""
+        h = RbcHarness(n=10, t=3)
+        size = 90_000
+        h.endpoints[1].disperse(b"z" * size)
+        h.sim.run()
+        expansion = h.n / (h.t + 1)
+        assert h.network.metrics.bytes_sent[1] < 2 * (expansion + 0.5) * size
+        for i in range(2, h.n + 1):
+            assert h.network.metrics.bytes_sent[i] < (expansion + 0.5) * size
+
+
+class TestTotality:
+    def test_fill_recovers_lagging_party(self):
+        """A party the dealer skipped still delivers (totality)."""
+        h = RbcHarness()
+        data = b"selective dealing" * 50
+
+        # A corrupt dealer sends fragments to only t+1 honest parties.
+        dealer = h.endpoints[1]
+        params = CodecParams(k=h.t + 1, m=h.n)
+        shards = encode(data, params)
+        tree = MerkleTree(shards)
+        for target in (2, 3, 4):  # only three of seven parties
+            h.network.send(
+                1,
+                target,
+                RbcMessage(
+                    dealer=1,
+                    root=tree.root,
+                    data_length=len(data),
+                    phase="send",
+                    fragment=Fragment(
+                        index=target - 1, data=shards[target - 1], proof=tree.proof(target - 1)
+                    ),
+                ),
+            )
+        h.sim.run()
+        # Everyone except the (silent) dealer itself must deliver.
+        for i in range(2, h.n + 1):
+            assert h.delivered[i] == [(1, data)], f"party {i} failed totality"
+
+
+class TestConsistency:
+    def test_inconsistent_dealer_rejected(self):
+        """Fragments committed under a root that does not match any real
+        encoding must never be delivered (consistency check on re-encode)."""
+        h = RbcHarness()
+        params = CodecParams(k=h.t + 1, m=h.n)
+        good = encode(b"A" * 300, params)
+        evil = encode(b"B" * 300, params)
+        # Mix shards from two different messages under one commitment.
+        mixed = good[:4] + evil[4:]
+        tree = MerkleTree(mixed)
+        for target in range(2, h.n + 1):
+            h.network.send(
+                1,
+                target,
+                RbcMessage(
+                    dealer=1,
+                    root=tree.root,
+                    data_length=300,
+                    phase="send",
+                    fragment=Fragment(
+                        index=target - 1, data=mixed[target - 1], proof=tree.proof(target - 1)
+                    ),
+                ),
+            )
+        h.sim.run()
+        for i in range(2, h.n + 1):
+            assert h.delivered[i] == []
+
+    def test_forged_fragment_ignored(self):
+        h = RbcHarness()
+        data = b"real data" * 30
+        params = CodecParams(k=h.t + 1, m=h.n)
+        shards = encode(data, params)
+        tree = MerkleTree(shards)
+        # A fragment whose bytes don't match its proof is dropped silently.
+        h.endpoints[2].on_message(
+            RbcMessage(
+                dealer=1,
+                root=tree.root,
+                data_length=len(data),
+                phase="send",
+                fragment=Fragment(index=1, data=b"garbage!", proof=tree.proof(1)),
+            )
+        )
+        assert h.delivered[2] == []
+
+    def test_mismatched_proof_index_ignored(self):
+        h = RbcHarness()
+        data = b"real data" * 30
+        params = CodecParams(k=h.t + 1, m=h.n)
+        shards = encode(data, params)
+        tree = MerkleTree(shards)
+        h.endpoints[2].on_message(
+            RbcMessage(
+                dealer=1,
+                root=tree.root,
+                data_length=len(data),
+                phase="send",
+                fragment=Fragment(index=2, data=shards[1], proof=tree.proof(1)),
+            )
+        )
+        assert h.delivered[2] == []
+
+    def test_non_rbc_message_returns_false(self):
+        h = RbcHarness()
+        assert not h.endpoints[1].on_message("something else")

@@ -1,0 +1,82 @@
+"""Tests for the finite-uplink (NIC serialization) network model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.delays import FixedDelay
+from repro.sim.metrics import Metrics
+from repro.sim.network import Network
+from repro.sim.simulator import Simulation
+from tests.sim.test_network import Recorder, SizedMessage
+
+
+def make_net(n=4, delay=0.05, uplink_bps=8_000_000):
+    sim = Simulation(seed=1)
+    net = Network(sim, n, FixedDelay(delay), Metrics(n=n), uplink_bps=uplink_bps)
+    parties = [Recorder(i, sim) for i in range(1, n + 1)]
+    for p in parties:
+        net.attach(p)
+    return sim, net, parties
+
+
+class TestUplinkSerialization:
+    def test_transmission_time_added(self):
+        # 1 MB at 8 Mb/s = 1 s of transmission + 0.05 s propagation.
+        sim, net, parties = make_net()
+        net.send(1, 2, SizedMessage(1_000_000))
+        sim.run()
+        assert parties[1].received[0][0] == pytest.approx(1.05)
+
+    def test_broadcast_copies_queue_behind_each_other(self):
+        """(n-1)·S serialization: the last receiver waits for all copies —
+        the leader bottleneck as latency."""
+        sim, net, parties = make_net()
+        net.broadcast(1, SizedMessage(1_000_000))
+        sim.run()
+        times = sorted(p.received[0][0] for p in parties[1:])
+        assert times == pytest.approx([1.05, 2.05, 3.05])
+
+    def test_messages_queue_across_calls(self):
+        sim, net, parties = make_net()
+        net.send(1, 2, SizedMessage(1_000_000))
+        net.send(1, 3, SizedMessage(1_000_000))
+        sim.run()
+        assert parties[1].received[0][0] == pytest.approx(1.05)
+        assert parties[2].received[0][0] == pytest.approx(2.05)
+
+    def test_distinct_senders_do_not_interfere(self):
+        sim, net, parties = make_net()
+        net.send(1, 3, SizedMessage(1_000_000))
+        net.send(2, 4, SizedMessage(1_000_000))
+        sim.run()
+        assert parties[2].received[0][0] == pytest.approx(1.05)
+        assert parties[3].received[0][0] == pytest.approx(1.05)
+
+    def test_small_messages_negligible(self):
+        sim, net, parties = make_net()
+        net.send(1, 2, SizedMessage(100))  # 100 µs at 8 Mb/s
+        sim.run()
+        assert parties[1].received[0][0] == pytest.approx(0.0501)
+
+    def test_self_delivery_skips_nic(self):
+        sim, net, parties = make_net()
+        net.broadcast(1, SizedMessage(1_000_000))
+        sim.run()
+        assert parties[0].received[0][0] == 0.0
+
+    def test_infinite_bandwidth_default(self):
+        sim, net, parties = make_net(uplink_bps=None)
+        net.broadcast(1, SizedMessage(10_000_000))
+        sim.run()
+        assert all(p.received[0][0] == pytest.approx(0.05) for p in parties[1:])
+
+    def test_queue_drains_over_idle_time(self):
+        sim, net, parties = make_net()
+        net.send(1, 2, SizedMessage(1_000_000))
+        sim.run()
+        # After the NIC is idle again, a new message pays only its own time.
+        net.send(1, 3, SizedMessage(1_000_000))
+        start = sim.now
+        sim.run()
+        assert parties[2].received[0][0] - start == pytest.approx(1.05)

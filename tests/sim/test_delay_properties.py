@@ -1,0 +1,63 @@
+"""Property-based tests for the delay models' contracts."""
+
+from __future__ import annotations
+
+from random import Random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.delays import (
+    FixedDelay,
+    IntermittentSynchrony,
+    PartialSynchrony,
+    WanDelay,
+)
+
+times = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+pairs = st.tuples(st.integers(1, 40), st.integers(1, 40))
+
+
+class TestEventualDelivery:
+    @given(times, pairs, st.integers(0, 2**32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_partial_synchrony_delivers_by_gst_plus_base(self, now, pair, seed):
+        """No message is ever delayed past GST + one base delay."""
+        model = PartialSynchrony(base=FixedDelay(0.1), gst=500.0, max_async=1e6)
+        sender, receiver = pair
+        delay = model.sample(sender, receiver, now, Random(seed))
+        assert delay >= 0
+        assert now + delay <= max(now, 500.0) + 0.1 + 1e-6
+
+    @given(times, pairs, st.integers(0, 2**32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_intermittent_arrivals_land_in_sync_windows(self, now, pair, seed):
+        model = IntermittentSynchrony(base=FixedDelay(0.05), period=10.0, sync_len=3.0)
+        sender, receiver = pair
+        delay = model.sample(sender, receiver, now, Random(seed))
+        assert delay >= 0.05 - 1e-9
+        assert model.in_sync_window(now + delay)
+
+    @given(times, pairs, st.integers(0, 2**32 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_wan_delays_positive_and_bounded(self, now, pair, seed):
+        model = WanDelay(jitter_sigma=0.2)
+        sender, receiver = pair
+        rng = Random(seed)
+        delay = model.sample(sender, receiver, now, rng)
+        if sender == receiver:
+            assert delay == 0.0
+        else:
+            assert 0.0 < delay < 1.0  # base <= 55 ms, jitter is log-normal
+
+
+class TestDeterminism:
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_wan_base_latency_reproducible_per_seeded_stream(self, seed):
+        def draw():
+            model = WanDelay(jitter_sigma=0.0)
+            rng = Random(seed)
+            return [model.sample(1, j, 0.0, rng) for j in range(2, 10)]
+
+        assert draw() == draw()

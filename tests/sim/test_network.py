@@ -1,0 +1,204 @@
+"""Tests for the broadcast network fabric and traffic accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.delays import FixedDelay
+from repro.sim.metrics import Metrics
+from repro.sim.network import Network, message_kind, wire_size
+from repro.sim.simulator import Simulation
+
+
+class Recorder:
+    """Minimal party: records (time, message) deliveries."""
+
+    def __init__(self, index: int, sim: Simulation) -> None:
+        self.index = index
+        self.sim = sim
+        self.received: list[tuple[float, object]] = []
+
+    def on_receive(self, message: object) -> None:
+        self.received.append((self.sim.now, message))
+
+
+class SizedMessage:
+    kind = "sized"
+
+    def __init__(self, size: int) -> None:
+        self._size = size
+
+    def wire_size(self) -> int:
+        return self._size
+
+
+def make_net(n: int = 3, delay: float = 0.1):
+    sim = Simulation(seed=1)
+    net = Network(sim, n, FixedDelay(delay), Metrics(n=n))
+    parties = [Recorder(i, sim) for i in range(1, n + 1)]
+    for p in parties:
+        net.attach(p)
+    return sim, net, parties
+
+
+class TestDelivery:
+    def test_broadcast_reaches_everyone(self):
+        sim, net, parties = make_net()
+        net.broadcast(1, b"hello")
+        sim.run()
+        assert all(len(p.received) == 1 for p in parties)
+
+    def test_self_delivery_immediate_others_delayed(self):
+        sim, net, parties = make_net(delay=0.5)
+        net.broadcast(1, b"hello")
+        sim.run()
+        assert parties[0].received[0][0] == 0.0
+        assert parties[1].received[0][0] == 0.5
+
+    def test_point_to_point(self):
+        sim, net, parties = make_net()
+        net.send(1, 3, b"direct")
+        sim.run()
+        assert len(parties[0].received) == 0
+        assert len(parties[2].received) == 1
+
+    def test_multicast(self):
+        sim, net, parties = make_net()
+        net.multicast(1, [2, 3], b"m")
+        sim.run()
+        assert len(parties[0].received) == 0
+        assert len(parties[1].received) == 1
+        assert len(parties[2].received) == 1
+
+    def test_attach_validation(self):
+        sim, net, parties = make_net()
+        with pytest.raises(ValueError):
+            net.attach(Recorder(1, sim))  # duplicate
+        with pytest.raises(ValueError):
+            net.attach(Recorder(99, sim))  # out of range
+
+
+class TestCrash:
+    def test_crashed_sender_sends_nothing(self):
+        sim, net, parties = make_net()
+        net.crash(1)
+        net.broadcast(1, b"x")
+        sim.run()
+        assert all(not p.received for p in parties)
+
+    def test_crashed_receiver_gets_nothing(self):
+        sim, net, parties = make_net()
+        net.crash(3)
+        net.broadcast(1, b"x")
+        sim.run()
+        assert len(parties[2].received) == 0
+        assert len(parties[1].received) == 1
+
+    def test_crash_drops_in_flight(self):
+        sim, net, parties = make_net(delay=1.0)
+        net.broadcast(1, b"x")
+        sim.schedule(0.5, lambda: net.crash(3))
+        sim.run()
+        assert len(parties[2].received) == 0
+
+
+class TestPartition:
+    def test_messages_held_until_heal(self):
+        sim, net, parties = make_net(delay=0.1)
+        net.add_partition({1}, heal_time=5.0)
+        net.broadcast(1, b"x")
+        sim.run(until=4.0)
+        assert len(parties[1].received) == 0
+        sim.run()
+        # Eventual delivery after heal.
+        assert len(parties[1].received) == 1
+        assert parties[1].received[0][0] >= 5.0
+
+    def test_intra_partition_unaffected(self):
+        sim, net, parties = make_net(delay=0.1)
+        net.add_partition({1, 2}, heal_time=5.0)
+        net.send(1, 2, b"x")
+        sim.run(until=1.0)
+        assert len(parties[1].received) == 1
+
+    def test_expired_partition_noop(self):
+        sim, net, parties = make_net(delay=0.1)
+        net.add_partition({1}, heal_time=0.0)
+        net.broadcast(1, b"x")
+        sim.run()
+        assert parties[1].received[0][0] == pytest.approx(0.1)
+
+
+class TestAccounting:
+    def test_broadcast_counts_n_messages(self):
+        """Paper convention: one broadcast contributes n to message count."""
+        sim, net, parties = make_net(n=3)
+        net.broadcast(1, SizedMessage(100))
+        assert net.metrics.msgs_sent[1] == 3
+        assert net.metrics.bytes_sent[1] == 200  # (n-1) transmissions
+
+    def test_send_counts_one(self):
+        sim, net, parties = make_net(n=3)
+        net.send(1, 2, SizedMessage(100))
+        assert net.metrics.msgs_sent[1] == 1
+        assert net.metrics.bytes_sent[1] == 100
+
+    def test_kind_labels(self):
+        sim, net, parties = make_net(n=3)
+        net.broadcast(1, SizedMessage(10))
+        assert net.metrics.msgs_by_kind["sized"] == 3
+
+    def test_round_attribution(self):
+        sim, net, parties = make_net(n=3)
+        net.broadcast(1, SizedMessage(10), round=4)
+        assert net.metrics.messages_in_round(4) == 3
+
+
+class TestDuplication:
+    def test_duplicates_delivered(self):
+        sim, net, parties = make_net()
+        net.duplicate_prob = 1.0
+        net.send(1, 2, b"dup")
+        sim.run()
+        assert len(parties[1].received) == 2
+
+    def test_no_duplicates_by_default(self):
+        sim, net, parties = make_net()
+        net.broadcast(1, b"x")
+        sim.run()
+        assert all(len(p.received) <= 1 for p in parties)
+
+    def test_self_delivery_never_duplicated(self):
+        sim, net, parties = make_net()
+        net.duplicate_prob = 1.0
+        net.broadcast(1, b"x")
+        sim.run()
+        assert len(parties[0].received) == 1
+
+    def test_duplicate_trails_original(self):
+        sim, net, parties = make_net(delay=0.1)
+        net.duplicate_prob = 1.0
+        net.send(1, 2, b"x")
+        sim.run()
+        first, second = (t for t, _ in parties[1].received)
+        assert second > first
+
+
+class TestWireSizeHelpers:
+    def test_bytes_fallback(self):
+        assert wire_size(b"abcd") == 4
+
+    def test_method_preferred(self):
+        assert wire_size(SizedMessage(77)) == 77
+
+    def test_unsizable_rejected(self):
+        with pytest.raises(TypeError):
+            wire_size(42)
+
+    def test_kind_fallback_to_classname(self):
+        class Anon:
+            def wire_size(self):
+                return 1
+
+        assert message_kind(Anon()) == "Anon"
+        assert message_kind(SizedMessage(1)) == "sized"

@@ -1,0 +1,121 @@
+"""Tests for the client frontend (submit → commit → latency)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClusterConfig, build_cluster
+from repro.sim.delays import FixedDelay
+from repro.smr import ClientFrontend
+
+
+def make_cluster(client, n=4, t=1, rounds=60, seed=3, delta=0.05):
+    config = ClusterConfig(
+        n=n,
+        t=t,
+        delta_bound=0.3,
+        epsilon=0.005,
+        delay_model=FixedDelay(delta),
+        max_rounds=rounds,
+        seed=seed,
+        payload_source=client.payload_source,
+    )
+    cluster = build_cluster(config)
+    client.bind(cluster)
+    return cluster
+
+
+class TestSubmission:
+    def test_single_command_commits(self):
+        client = ClientFrontend()
+        cluster = make_cluster(client)
+        cluster.start()
+        handle = client.submit(b"put k v")
+        cluster.run_for(5.0)
+        assert handle.done
+        assert handle.committed_round is not None
+        assert b"put k v" in b"".join(cluster.party(1).output_commands())
+
+    def test_unbound_submit_raises(self):
+        client = ClientFrontend()
+        with pytest.raises(RuntimeError):
+            client.submit(b"x")
+
+    def test_scheduled_submission(self):
+        client = ClientFrontend()
+        cluster = make_cluster(client)
+        cluster.start()
+        client.submit_at(2.0, b"later")
+        cluster.run_for(1.0)
+        assert not client.handles  # nothing submitted yet
+        cluster.run_for(5.0)
+        assert len(client.completed) == 1
+
+    def test_stream_all_complete(self):
+        client = ClientFrontend()
+        cluster = make_cluster(client)
+        cluster.start()
+        client.submit_stream(rate=20.0, duration=3.0)
+        cluster.run_for(10.0)
+        assert len(client.handles) == pytest.approx(60, abs=2)
+        assert not client.outstanding
+
+    def test_commands_committed_exactly_once(self):
+        client = ClientFrontend()
+        cluster = make_cluster(client)
+        cluster.start()
+        client.submit_stream(rate=30.0, duration=2.0)
+        cluster.run_for(10.0)
+        commands = cluster.party(1).output_commands()
+        assert len(commands) == len(set(commands))
+        assert len(commands) == len(client.completed)
+
+
+class TestLatency:
+    def test_latency_bounds(self):
+        """End-to-end latency = queueing (≤ one round ≈ 2δ) + commit (3δ)."""
+        delta = 0.05
+        client = ClientFrontend()
+        cluster = make_cluster(client, delta=delta)
+        cluster.start()
+        client.submit_stream(rate=10.0, duration=3.0)
+        cluster.run_for(12.0)
+        latencies = client.latencies()
+        assert latencies
+        for latency in latencies:
+            assert 3 * delta - 1e-9 <= latency <= 6 * delta + 1e-9
+        assert client.mean_latency() < 5 * delta
+
+    def test_no_latency_before_completion(self):
+        client = ClientFrontend()
+        cluster = make_cluster(client)
+        handle = None
+
+        def submit_late():
+            nonlocal handle
+            handle = client.submit(b"x")
+
+        cluster.sim.schedule_at(0.1, submit_late)
+        cluster.start()
+        cluster.run_for(0.15)
+        assert handle is not None and handle.latency is None
+
+
+class TestUnderFaults:
+    def test_client_progress_with_crashes(self):
+        client = ClientFrontend()
+        config_cluster = None
+        from repro.core import ClusterConfig, build_cluster
+
+        config = ClusterConfig(
+            n=7, t=2, delta_bound=0.3, epsilon=0.005,
+            delay_model=FixedDelay(0.05), max_rounds=80, seed=4,
+            payload_source=client.payload_source,
+            corrupt={1: None, 2: None},
+        )
+        cluster = build_cluster(config)
+        client.bind(cluster, observer=3)
+        cluster.start()
+        client.submit_stream(rate=20.0, duration=3.0)
+        cluster.run_for(15.0)
+        assert not client.outstanding

@@ -1,0 +1,124 @@
+"""Tests for the token-ledger state machine, standalone and replicated."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ClusterConfig, build_cluster
+from repro.sim.delays import UniformDelay
+from repro.smr import (
+    ClientFrontend,
+    TokenLedgerMachine,
+    attach_replicas,
+    check_replica_agreement,
+)
+
+
+class TestLedgerSemantics:
+    def test_mint_and_transfer(self):
+        m = TokenLedgerMachine()
+        m.apply(TokenLedgerMachine.mint(b"alice", 100))
+        m.apply(TokenLedgerMachine.transfer(b"alice", b"bob", 40))
+        assert m.balance(b"alice") == 60
+        assert m.balance(b"bob") == 40
+        assert m.total_supply == 100
+
+    def test_overdraft_rejected(self):
+        m = TokenLedgerMachine()
+        m.apply(TokenLedgerMachine.mint(b"alice", 10))
+        m.apply(TokenLedgerMachine.transfer(b"alice", b"bob", 11))
+        assert m.balance(b"alice") == 10
+        assert m.rejected == 1
+
+    def test_zero_and_negative_amounts_rejected(self):
+        m = TokenLedgerMachine()
+        m.apply(TokenLedgerMachine.mint(b"a", 5))
+        m.apply(b"xfer\x1fa\x1fb\x1f0")
+        m.apply(b"xfer\x1fa\x1fb\x1f-3")
+        m.apply(b"mint\x1fa\x1f-1")
+        assert m.rejected == 3
+        assert m.balance(b"a") == 5
+
+    def test_garbage_rejected(self):
+        m = TokenLedgerMachine()
+        m.apply(b"what")
+        m.apply(b"mint\x1fonly-two")
+        m.apply(b"xfer\x1fa\x1fb\x1fNaN")
+        assert m.rejected == 3
+
+    def test_emptied_account_removed(self):
+        m = TokenLedgerMachine()
+        m.apply(TokenLedgerMachine.mint(b"a", 7))
+        m.apply(TokenLedgerMachine.transfer(b"a", b"b", 7))
+        assert b"a" not in m.balances
+
+    def test_digest_covers_rejections(self):
+        a, b = TokenLedgerMachine(), TokenLedgerMachine()
+        a.apply(TokenLedgerMachine.mint(b"x", 5))
+        b.apply(TokenLedgerMachine.mint(b"x", 5))
+        a.apply(b"garbage")
+        assert a.digest() != b.digest()
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from([b"a", b"b", b"c"]),
+                st.sampled_from([b"a", b"b", b"c"]),
+                st.integers(min_value=-5, max_value=50),
+                st.booleans(),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_supply_conservation_property(self, ops):
+        """Total supply only changes on successful mints, never transfers."""
+        m = TokenLedgerMachine()
+        minted = 0
+        for source, destination, amount, is_mint in ops:
+            if is_mint:
+                m.apply(TokenLedgerMachine.mint(destination, amount))
+                if amount > 0:
+                    minted += amount
+            else:
+                m.apply(TokenLedgerMachine.transfer(source, destination, amount))
+        assert m.total_supply == minted
+        assert sum(m.balances.values()) == minted
+        assert all(v > 0 for v in m.balances.values())
+
+
+class TestReplicatedLedger:
+    def test_replicas_agree_including_rejections(self):
+        """Replicas agree on the fate of every transfer — including the
+        overdrafts that must fail on everyone."""
+        client = ClientFrontend()
+        config = ClusterConfig(
+            n=4, t=1, delta_bound=0.4, epsilon=0.005,
+            delay_model=UniformDelay(0.01, 0.09), seed=9,
+            max_rounds=120, payload_source=client.payload_source,
+        )
+        cluster = build_cluster(config)
+        replicas = attach_replicas(
+            cluster, machine_factory=TokenLedgerMachine, checkpoint_interval=10
+        )
+        client.bind(cluster)
+        cluster.start()
+        client.submit_at(0.01, TokenLedgerMachine.mint(b"alice", 100))
+        for i in range(30):
+            # Every third transfer is an overdraft attempt.
+            amount = 500 if i % 3 == 2 else 3
+            client.submit_at(
+                0.1 * i + 0.1,
+                TokenLedgerMachine.transfer(b"alice", b"bob-%d" % (i % 4), amount),
+            )
+        cluster.run_for(20.0)
+        cluster.check_safety()
+        check_replica_agreement(replicas)
+        machine = replicas[0].machine
+        assert machine.rejected == 10
+        assert machine.applied == 21
+        assert machine.total_supply == 100
+        digests = {r.digest() for r in replicas}
+        assert len(digests) == 1

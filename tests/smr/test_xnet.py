@@ -1,0 +1,117 @@
+"""Tests for cross-subnet messaging (intercommunicating state machines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClusterConfig, build_cluster
+from repro.sim.delays import FixedDelay
+from repro.sim.simulator import Simulation
+from repro.smr import ClientFrontend
+from repro.smr.xnet import XNet, make_envelope, parse_envelope
+
+
+def two_subnets(seed=1, rounds=400):
+    sim = Simulation(seed=seed)
+    subnets = {}
+    xnet = XNet(sim, transfer_delay=0.2)
+    for offset, name in enumerate(("alpha", "beta")):
+        client = ClientFrontend()
+        config = ClusterConfig(
+            n=4, t=1, delta_bound=0.3, epsilon=0.005,
+            delay_model=FixedDelay(0.05), seed=seed + offset,
+            max_rounds=rounds, payload_source=client.payload_source,
+        )
+        cluster = build_cluster(config, sim=sim)
+        client.bind(cluster)
+        subnets[name] = (cluster, client)
+    for name, (cluster, client) in subnets.items():
+        xnet.register(name, cluster, client)
+    for cluster, _ in subnets.values():
+        cluster.start()
+    return sim, xnet, subnets
+
+
+class TestEnvelope:
+    def test_roundtrip(self):
+        env = make_envelope("beta", b"hello")
+        assert parse_envelope(env) == ("beta", b"hello")
+
+    def test_non_envelope(self):
+        assert parse_envelope(b"ordinary command") is None
+
+    def test_bad_destination(self):
+        with pytest.raises(ValueError):
+            make_envelope("a\x1fb", b"x")
+
+    def test_malformed_envelope(self):
+        assert parse_envelope(b"xnet\x1fno-separator") is None
+
+
+class TestRouting:
+    def test_command_crosses_subnets(self):
+        sim, xnet, subnets = two_subnets()
+        alpha_cluster, alpha_client = subnets["alpha"]
+        beta_cluster, beta_client = subnets["beta"]
+        alpha_client.submit(make_envelope("beta", b"transfer 10 tokens"))
+        sim.run(until=10.0)
+        # The envelope committed on alpha, crossed, and committed on beta.
+        assert xnet.transfers == 1
+        assert ("alpha", b"transfer 10 tokens") in xnet.subnets["beta"].received
+        committed_on_beta = b"".join(beta_cluster.party(1).output_commands())
+        assert b"transfer 10 tokens" in committed_on_beta
+
+    def test_fifo_per_source(self):
+        sim, xnet, subnets = two_subnets()
+        _, alpha_client = subnets["alpha"]
+        for i in range(10):
+            alpha_client.submit_at(0.1 * i + 0.01, make_envelope("beta", b"m%02d" % i))
+        sim.run(until=20.0)
+        received = [body for src, body in xnet.subnets["beta"].received if src == "alpha"]
+        assert received == [b"m%02d" % i for i in range(10)]
+
+    def test_bidirectional(self):
+        sim, xnet, subnets = two_subnets()
+        _, alpha_client = subnets["alpha"]
+        _, beta_client = subnets["beta"]
+        alpha_client.submit(make_envelope("beta", b"ping"))
+        beta_client.submit(make_envelope("alpha", b"pong"))
+        sim.run(until=10.0)
+        assert ("alpha", b"ping") in xnet.subnets["beta"].received
+        assert ("beta", b"pong") in xnet.subnets["alpha"].received
+
+    def test_unknown_destination_counted(self):
+        sim, xnet, subnets = two_subnets()
+        _, alpha_client = subnets["alpha"]
+        alpha_client.submit(make_envelope("gamma", b"lost"))
+        sim.run(until=10.0)
+        assert xnet.undeliverable == 1
+        assert xnet.transfers == 0
+
+    def test_subnets_progress_independently(self):
+        sim, xnet, subnets = two_subnets()
+        sim.run(until=10.0)
+        alpha_cluster, _ = subnets["alpha"]
+        beta_cluster, _ = subnets["beta"]
+        assert alpha_cluster.min_committed_round() > 20
+        assert beta_cluster.min_committed_round() > 20
+        alpha_cluster.check_safety()
+        beta_cluster.check_safety()
+
+    def test_duplicate_registration_rejected(self):
+        sim, xnet, subnets = two_subnets()
+        cluster, client = subnets["alpha"]
+        with pytest.raises(ValueError):
+            xnet.register("alpha", cluster, client)
+
+    def test_foreign_simulation_rejected(self):
+        sim, xnet, subnets = two_subnets()
+        client = ClientFrontend()
+        config = ClusterConfig(
+            n=4, t=1, delay_model=FixedDelay(0.05),
+            payload_source=client.payload_source,
+        )
+        foreign = build_cluster(config)  # its own Simulation
+        client.bind(foreign)
+        with pytest.raises(ValueError):
+            xnet.register("gamma", foreign, client)

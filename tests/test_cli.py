@@ -1,0 +1,37 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_versions(self, capsys):
+        main(["versions"])
+        out = capsys.readouterr().out
+        assert "repro 1.0.0" in out
+        assert "reed-solomon: self-check OK" in out
+
+    def test_demo(self, capsys):
+        main(["demo", "--n", "4", "--rounds", "6", "--delta", "0.05"])
+        out = capsys.readouterr().out
+        assert "committed" in out
+        assert "2.00 δ" in out
+        assert "3.00 δ" in out
+
+    def test_demo_deterministic(self, capsys):
+        main(["demo", "--n", "4", "--rounds", "5", "--seed", "9"])
+        first = capsys.readouterr().out
+        main(["demo", "--n", "4", "--rounds", "5", "--seed", "9"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
