@@ -4,7 +4,9 @@ Commands:
 
 * ``demo``        — the quickstart scenario (a few ICC0 rounds + stats);
 * ``table1``      — reproduce Table 1 (``--full`` for 300 s windows);
-* ``experiments`` — the entire evaluation suite (``--quick`` supported);
+* ``experiments`` — the entire evaluation suite (``--quick``, ``--trace DIR``);
+* ``trace``       — run a traced simulation (or load a JSONL export) and
+  print latency/message summaries — see ``docs/OBSERVABILITY.md``;
 * ``versions``    — substrate self-check (group parameters, codec, sizes).
 """
 
@@ -54,7 +56,69 @@ def _cmd_table1(args: argparse.Namespace) -> None:
 def _cmd_experiments(args: argparse.Namespace) -> None:
     from repro.experiments import run_all
 
-    run_all.main(["--quick"] if args.quick else [])
+    argv = ["--quick"] if args.quick else []
+    if args.trace is not None:
+        argv += ["--trace", args.trace]
+    run_all.main(argv)
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    from repro.analysis.trace import (
+        format_summary,
+        round_breakdown,
+        summarize,
+    )
+    from repro.obs import Tracer, read_jsonl, write_jsonl
+
+    if args.input is not None:
+        events = read_jsonl(args.input)
+        print(f"loaded {len(events)} events from {args.input}")
+    else:
+        from repro.experiments.common import make_icc_config, run_icc
+        from repro.sim import FixedDelay
+
+        tracer = Tracer()
+        config = make_icc_config(
+            args.protocol,
+            n=args.n,
+            t=(args.n - 1) // 3,
+            delta_bound=args.delta * 6,
+            delay_model=FixedDelay(args.delta),
+            epsilon=args.delta / 5,
+            seed=args.seed,
+            max_rounds=args.rounds,
+        )
+        config.tracer = tracer
+        cluster = run_icc(config, duration=args.rounds * args.delta * 8)
+        events = tracer.events()
+        print(
+            f"{args.protocol.upper()} n={args.n} δ={args.delta * 1000:.0f} ms "
+            f"seed={args.seed}: {cluster.min_committed_round()} rounds committed, "
+            f"{len(events)} events traced"
+        )
+        if tracer.dropped:
+            print(f"warning: ring buffer dropped {tracer.dropped} events")
+    print()
+    print(format_summary(summarize(events)))
+    breakdown = round_breakdown(events)
+    if breakdown:
+        print()
+        print("round  enter->propose  propose->notarize  notarize->finalize  msgs")
+        for entry in breakdown.values():
+            gaps = entry.phase_durations()
+
+            def cell(key: str) -> str:
+                value = gaps[key]
+                return "-" if value is None else f"{value:.3f}s"
+
+            print(
+                f"{entry.round:5d}  {cell('enter->propose'):>14s}  "
+                f"{cell('propose->notarize'):>17s}  "
+                f"{cell('notarize->finalize'):>18s}  {entry.messages:4d}"
+            )
+    if args.export is not None:
+        count = write_jsonl(events, args.export)
+        print(f"\nwrote {count} events to {args.export}")
 
 
 def _cmd_report(args: argparse.Namespace) -> None:
@@ -101,7 +165,30 @@ def main(argv: list[str] | None = None) -> None:
 
     experiments = sub.add_parser("experiments", help="run the full evaluation")
     experiments.add_argument("--quick", action="store_true")
+    experiments.add_argument(
+        "--trace", metavar="DIR", default=None,
+        help="export one trace JSONL per ICC run into DIR",
+    )
     experiments.set_defaults(func=_cmd_experiments)
+
+    trace = sub.add_parser(
+        "trace", help="trace a simulation and summarize the event stream"
+    )
+    trace.add_argument(
+        "--protocol", choices=["icc0", "icc1", "icc2"], default="icc0"
+    )
+    trace.add_argument("--n", type=int, default=4)
+    trace.add_argument("--rounds", type=int, default=8)
+    trace.add_argument("--delta", type=float, default=0.05)
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument(
+        "--export", metavar="PATH", default=None, help="write events as JSONL"
+    )
+    trace.add_argument(
+        "--input", metavar="PATH", default=None,
+        help="summarize an existing JSONL export instead of running",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     report = sub.add_parser("report", help="write a markdown evaluation report")
     report.add_argument("output", nargs="?", default="EXPERIMENTS-generated.md")

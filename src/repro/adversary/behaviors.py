@@ -36,6 +36,7 @@ from __future__ import annotations
 from ..core.icc0 import ICC0Party
 from ..core.messages import Authenticator, Block, EMPTY_PAYLOAD, Payload
 from ..core import messages as msg
+from ..obs import short_id
 
 
 class SilentMixin:
@@ -66,6 +67,11 @@ class ConsistentFailureMixin:
 
     def _send_finalization_share(self, block: Block) -> None:  # noqa: D102
         self.metrics.count("finalization-shares-withheld")
+        if self.tracer.enabled:
+            self._trace(
+                "adv.withhold.finalization", round=block.round,
+                block=short_id(block.hash),
+            )
 
 
 class WithholdFinalizationMixin:
@@ -73,6 +79,11 @@ class WithholdFinalizationMixin:
 
     def _send_finalization_share(self, block: Block) -> None:  # noqa: D102
         self.metrics.count("finalization-shares-withheld")
+        if self.tracer.enabled:
+            self._trace(
+                "adv.withhold.finalization", round=block.round,
+                block=short_id(block.hash),
+            )
 
 
 class WithholdNotarizationMixin:
@@ -80,12 +91,19 @@ class WithholdNotarizationMixin:
 
     def _send_notarization_share(self, block: Block) -> None:  # noqa: D102
         self.metrics.count("notarization-shares-withheld")
+        if self.tracer.enabled:
+            self._trace(
+                "adv.withhold.notarization", round=block.round,
+                block=short_id(block.hash),
+            )
 
 
 class LazyLeaderMixin:
     """Propose syntactically-valid but empty blocks regardless of load."""
 
     def _make_payload(self, round: int, chain: list[Block]) -> Payload:  # noqa: D102
+        if self.tracer.enabled:
+            self._trace("adv.lazy.payload", round=round)
         return EMPTY_PAYLOAD
 
 
@@ -98,7 +116,10 @@ class SlowProposerMixin:
         if self.sim.now < self.round_start + self.propose_lag:
             self._schedule_wake(self.round_start + self.propose_lag)
             return False
-        return super()._clause_b_propose()
+        proposed = super()._clause_b_propose()
+        if proposed and self.tracer.enabled:
+            self._trace("adv.slow.propose", lag=self.propose_lag)
+        return proposed
 
 
 class EquivocatingProposerMixin:
@@ -142,6 +163,11 @@ class EquivocatingProposerMixin:
             if parent_notz is not None:
                 self.network.send(self.index, receiver, parent_notz, round=k)
         self.metrics.count("equivocating-proposals")
+        if self.tracer.enabled:
+            self._trace(
+                "adv.equivocate", round=k,
+                blocks=[short_id(block.hash) for block, _ in twins],
+            )
         self.proposed = True
         return True
 
@@ -161,6 +187,10 @@ class AggressiveByzantineMixin(EquivocatingProposerMixin):
             if block.hash in self.notar_shared:
                 continue
             self.notar_shared[block.hash] = self._block_rank(block)
+            if self.tracer.enabled:
+                self._trace(
+                    "adv.aggressive.sign", round=k, block=short_id(block.hash)
+                )
             self._send_notarization_share(block)
             # Also finalization-share it — honest parties never would here.
             self._send_finalization_share(block)

@@ -1,0 +1,295 @@
+"""Reconstruct protocol behaviour from a trace event stream.
+
+The functions here are the consumers of :mod:`repro.obs`: given the list
+of :class:`~repro.obs.TraceEvent` records a run produced (from a live
+``Tracer`` or re-loaded from a JSONL export), they rebuild the quantities
+the paper's experiments report — per-round latency breakdowns
+(propose → notarize → finalize → commit), message complexity per round,
+and adversary-activation timelines.
+
+Everything operates on plain event lists, so analyses compose: filter a
+list first (by party, by protocol, by round window) and feed the slice to
+any function below.  Each function documents which event kinds it reads;
+all kinds are defined in :mod:`repro.obs.registry` and documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..obs.tracer import TraceEvent
+
+#: Event kinds counted as network transmissions, with the payload field
+#: giving the number of point-to-point messages each event represents.
+_MESSAGE_KINDS = {
+    "net.broadcast": "copies",
+    "net.multicast": "receivers",
+    "net.send": None,  # always exactly one message
+}
+
+#: Event kinds emitted only by adversarial (Byzantine) behaviours.
+ADVERSARY_KINDS = frozenset(
+    {
+        "adv.equivocate",
+        "adv.withhold.finalization",
+        "adv.withhold.notarization",
+        "adv.lazy.payload",
+        "adv.slow.propose",
+        "adv.aggressive.sign",
+    }
+)
+
+
+def _first_by_key(
+    events: Iterable[TraceEvent], kind: str, key_field: str
+) -> dict[object, TraceEvent]:
+    """Earliest event of ``kind`` per distinct ``payload[key_field]``."""
+    out: dict[object, TraceEvent] = {}
+    for event in events:
+        if event.kind != kind:
+            continue
+        key = event.payload.get(key_field)
+        if key is None:
+            continue
+        if key not in out or event.time < out[key].time:
+            out[key] = event
+    return out
+
+
+def commit_latencies(events: Sequence[TraceEvent]) -> dict[str, float]:
+    """Per-block commit latency: first commit time minus propose time.
+
+    Reads ``icc.block.proposed`` / ``icc.block.committed`` for the ICC
+    family and ``hotstuff.propose`` / ``pbft.propose`` /
+    ``tendermint.propose`` / ``baseline.commit`` for the baselines.
+    Returns ``{block_id: latency}`` keyed by the 16-hex-char short id;
+    blocks that were proposed but never committed (or whose proposal was
+    never traced, e.g. an equivocating proposer's) are omitted — the same
+    convention :class:`repro.sim.metrics.Metrics` uses when
+    ``proposed_at`` is missing.
+    """
+    proposed: dict[object, TraceEvent] = {}
+    for kind, key_field in (
+        ("icc.block.proposed", "block"),
+        ("hotstuff.propose", "batch"),
+        ("pbft.propose", "batch"),
+        ("tendermint.propose", "batch"),
+    ):
+        proposed.update(_first_by_key(events, kind, key_field))
+    committed: dict[object, TraceEvent] = {}
+    for kind, key_field in (
+        ("icc.block.committed", "block"),
+        ("baseline.commit", "batch"),
+    ):
+        committed.update(_first_by_key(events, kind, key_field))
+    return {
+        block: committed[block].time - proposed[block].time
+        for block in committed
+        if block in proposed
+    }
+
+
+def message_counts(events: Sequence[TraceEvent]) -> dict[int | None, int]:
+    """Point-to-point messages per round, from network-layer events.
+
+    Reads ``net.broadcast`` (counted as ``copies`` = n messages, the
+    paper's Section 1 convention — self-delivery included), ``net.send``
+    (1 message) and ``net.multicast`` (``receivers`` messages).  Returns
+    ``{round: count}``; events without round context accumulate under
+    ``None``.  Summed over all rounds this equals
+    ``Metrics.messages_sent``.
+    """
+    counts: Counter = Counter()
+    for event in events:
+        if event.kind not in _MESSAGE_KINDS:
+            continue
+        count_field = _MESSAGE_KINDS[event.kind]
+        counts[event.round] += 1 if count_field is None else int(
+            event.payload.get(count_field, 1)
+        )
+    return dict(counts)
+
+
+def bytes_sent(events: Sequence[TraceEvent]) -> int:
+    """Total wire bytes, matching the ``Metrics`` byte convention.
+
+    Broadcast charges ``(copies - 1) * bytes`` (no wire cost for
+    self-delivery), multicast ``receivers * bytes``, send ``bytes``.
+    """
+    total = 0
+    for event in events:
+        if event.kind == "net.broadcast":
+            total += (int(event.payload["copies"]) - 1) * int(event.payload["bytes"])
+        elif event.kind == "net.multicast":
+            total += int(event.payload["receivers"]) * int(event.payload["bytes"])
+        elif event.kind == "net.send":
+            total += int(event.payload["bytes"])
+    return total
+
+
+@dataclass
+class RoundBreakdown:
+    """Phase timeline of one ICC round, aggregated over parties.
+
+    Each field is the earliest trace timestamp at which *any* party
+    reached that phase (``None`` when the phase never happened — e.g. no
+    finalization in a round whose winning rank was disqualified).
+    """
+
+    round: int
+    entered: float | None = None  #: first icc.round.enter
+    proposed: float | None = None  #: first icc.block.proposed
+    notarized: float | None = None  #: first icc.round.done (notarization seen)
+    finalized: float | None = None  #: first icc.finalization
+    committed: float | None = None  #: first icc.block.committed
+    messages: int = 0  #: point-to-point messages attributed to the round
+
+    def phase_durations(self) -> dict[str, float | None]:
+        """Deltas between consecutive phases that both occurred."""
+
+        def gap(a: float | None, b: float | None) -> float | None:
+            return None if a is None or b is None else b - a
+
+        return {
+            "enter->propose": gap(self.entered, self.proposed),
+            "propose->notarize": gap(self.proposed, self.notarized),
+            "notarize->finalize": gap(self.notarized, self.finalized),
+            "finalize->commit": gap(self.finalized, self.committed),
+            "propose->commit": gap(self.proposed, self.committed),
+        }
+
+
+_PHASE_KINDS = {
+    "icc.round.enter": "entered",
+    "icc.block.proposed": "proposed",
+    "icc.round.done": "notarized",
+    "icc.finalization": "finalized",
+    "icc.block.committed": "committed",
+}
+
+
+def round_breakdown(events: Sequence[TraceEvent]) -> dict[int, RoundBreakdown]:
+    """Per-round phase timelines for an ICC-family run.
+
+    Reads the ``icc.*`` phase events plus the ``net.*`` message events;
+    returns ``{round: RoundBreakdown}`` sorted by round number.
+    """
+    rounds: dict[int, RoundBreakdown] = {}
+
+    def slot(round: int) -> RoundBreakdown:
+        if round not in rounds:
+            rounds[round] = RoundBreakdown(round=round)
+        return rounds[round]
+
+    for event in events:
+        attr = _PHASE_KINDS.get(event.kind)
+        if attr is not None and event.round is not None:
+            entry = slot(event.round)
+            current = getattr(entry, attr)
+            if current is None or event.time < current:
+                setattr(entry, attr, event.time)
+    for round, count in message_counts(events).items():
+        if round is not None:
+            slot(round).messages = count
+    return dict(sorted(rounds.items()))
+
+
+@dataclass(frozen=True)
+class AdversaryActivation:
+    """One adversarial action: when, who, what."""
+
+    time: float
+    party: int
+    kind: str
+    round: int | None
+    payload: Mapping
+
+
+def adversary_timeline(events: Sequence[TraceEvent]) -> list[AdversaryActivation]:
+    """Chronological list of all ``adv.*`` events in the trace."""
+    timeline = [
+        AdversaryActivation(
+            time=event.time,
+            party=event.party,
+            kind=event.kind,
+            round=event.round,
+            payload=event.payload,
+        )
+        for event in events
+        if event.kind in ADVERSARY_KINDS
+    ]
+    timeline.sort(key=lambda a: (a.time, a.party, a.kind))
+    return timeline
+
+
+@dataclass
+class TraceSummary:
+    """Headline numbers for a trace, for the CLI and quick looks."""
+
+    events: int
+    kinds: dict[str, int]
+    parties: int
+    protocols: list[str]
+    duration: float
+    rounds_entered: int
+    blocks_committed: int
+    commit_latency_mean: float | None
+    messages_total: int
+    adversary_events: int
+
+
+def summarize(events: Sequence[TraceEvent]) -> TraceSummary:
+    """Aggregate a trace into a :class:`TraceSummary`."""
+    kinds = Counter(event.kind for event in events)
+    parties = {event.party for event in events if event.party > 0}
+    protocols = sorted({event.protocol for event in events})
+    duration = max((event.time for event in events), default=0.0)
+    committed_blocks = {
+        event.payload.get("block") or event.payload.get("batch")
+        for event in events
+        if event.kind in ("icc.block.committed", "baseline.commit")
+    }
+    latencies = commit_latencies(events)
+    rounds = {
+        event.round for event in events if event.kind == "icc.round.enter"
+    }
+    return TraceSummary(
+        events=len(events),
+        kinds=dict(sorted(kinds.items())),
+        parties=len(parties),
+        protocols=protocols,
+        duration=duration,
+        rounds_entered=len(rounds),
+        blocks_committed=len(committed_blocks - {None}),
+        commit_latency_mean=(
+            sum(latencies.values()) / len(latencies) if latencies else None
+        ),
+        messages_total=sum(message_counts(events).values()),
+        adversary_events=sum(
+            count for kind, count in kinds.items() if kind in ADVERSARY_KINDS
+        ),
+    )
+
+
+def format_summary(summary: TraceSummary) -> str:
+    """Human-readable multi-line rendering of a :class:`TraceSummary`."""
+    lines = [
+        f"events          {summary.events}",
+        f"parties         {summary.parties}",
+        f"protocols       {', '.join(summary.protocols) or '-'}",
+        f"sim duration    {summary.duration:.3f}s",
+        f"rounds entered  {summary.rounds_entered}",
+        f"blocks committed {summary.blocks_committed}",
+    ]
+    if summary.commit_latency_mean is not None:
+        lines.append(f"commit latency  {summary.commit_latency_mean:.3f}s mean")
+    lines.append(f"messages        {summary.messages_total}")
+    if summary.adversary_events:
+        lines.append(f"adversary events {summary.adversary_events}")
+    lines.append("event kinds:")
+    for kind, count in summary.kinds.items():
+        lines.append(f"  {kind:28s} {count}")
+    return "\n".join(lines)

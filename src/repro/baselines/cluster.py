@@ -26,6 +26,9 @@ class BaselineClusterConfig:
     #: index -> replacement class (None = crash failure)
     corrupt: dict[int, type | None] = dc_field(default_factory=dict)
     party_kwargs: dict = dc_field(default_factory=dict)
+    #: Optional :class:`repro.obs.Tracer`; installed on the Simulation
+    #: *before* any party is built (parties cache ``sim.tracer``).
+    tracer: object | None = None
 
 
 class BaselineCluster:
@@ -85,6 +88,8 @@ class BaselineCluster:
 
 def build_baseline_cluster(config: BaselineClusterConfig) -> BaselineCluster:
     sim = Simulation(seed=config.seed)
+    if config.tracer is not None:
+        sim.tracer = config.tracer  # before Network/parties: they cache it
     delay_model = config.delay_model if config.delay_model is not None else FixedDelay(0.1)
     metrics = Metrics(n=config.n)
     network = Network(sim, config.n, delay_model, metrics)

@@ -21,6 +21,7 @@ from functools import cached_property
 
 from ..crypto.hashing import DIGEST_SIZE, tagged_hash
 from ..crypto.keyring import Keyring
+from ..obs import short_id
 from ..sim.metrics import Metrics
 from ..sim.network import Network
 from ..sim.simulator import Simulation
@@ -104,6 +105,9 @@ class BaselineParty:
         self.sim = sim
         self.network = network
         self.metrics: Metrics = network.metrics
+        #: Trace sink (repro.obs); install a Tracer on the Simulation
+        #: before building parties.
+        self.tracer = sim.tracer
         self.n = n
         self.t = t
         self.payload_source = payload_source
@@ -145,6 +149,19 @@ class BaselineParty:
             and self.keys.verify_notary_share(signed, vote.share)
         )
 
+    # -- tracing ---------------------------------------------------------------
+
+    def _trace(self, kind: str, round: int | None = None, **payload) -> None:
+        """Emit one trace event; callers guard with ``self.tracer.enabled``."""
+        self.tracer.emit(
+            time=self.sim.now,
+            party=self.index,
+            protocol=self.protocol_name,
+            round=round,
+            kind=kind,
+            payload=payload,
+        )
+
     # -- commit plumbing ---------------------------------------------------------
 
     def commit_batch(self, batch: Batch) -> None:
@@ -152,6 +169,11 @@ class BaselineParty:
             return
         self.committed_digests.add(batch.digest)
         self.output_log.append(batch)
+        if self.tracer.enabled:
+            self._trace(
+                "baseline.commit", round=batch.height,
+                batch=short_id(batch.digest), proposer=batch.proposer,
+            )
         self.metrics.on_commit(
             time=self.sim.now,
             observer=self.index,

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from ..crypto.hashing import DIGEST_SIZE, tagged_hash
 from ..core.messages import SIG_SIZE, AGG_DESCRIPTOR_SIZE
+from ..obs import short_id
 from .common import Batch, BaselineParty, GENESIS_DIGEST, Vote, vote_message
 
 
@@ -152,6 +153,8 @@ class HotStuffParty(BaselineParty):
         leader = self.leader_of(self.cur_view)
         if by_timeout:
             self.metrics.count("hotstuff-timeouts")
+            if self.tracer.enabled:
+                self._trace("hotstuff.timeout", view=self.cur_view)
             message = NewView(
                 view=self.cur_view,
                 voter=self.index,
@@ -200,6 +203,11 @@ class HotStuffParty(BaselineParty):
         )
         self.metrics.proposed_at.setdefault(batch.digest, self.sim.now)
         self.metrics.count("hotstuff-proposals")
+        if self.tracer.enabled:
+            self._trace(
+                "hotstuff.propose", round=height,
+                view=view, batch=short_id(batch.digest),
+            )
         self._broadcast(node, round=height)
 
     # ------------------------------------------------------------------ messages

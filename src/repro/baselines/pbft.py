@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.messages import Payload
+from ..obs import short_id
 from .common import Batch, BaselineParty, GENESIS_DIGEST, Vote
 
 
@@ -129,6 +130,11 @@ class PBFTParty(BaselineParty):
             )
         self.metrics.proposed_at.setdefault(batch.digest, self.sim.now)
         self.metrics.count("pbft-proposals")
+        if self.tracer.enabled:
+            self._trace(
+                "pbft.propose", round=height,
+                view=self.view, batch=short_id(batch.digest),
+            )
         message = PrePrepare(view=self.view, batch=batch)
         self._broadcast(message, round=height)
 
@@ -233,6 +239,8 @@ class PBFTParty(BaselineParty):
         self.view = message.new_view
         self._last_progress = self.sim.now
         self.metrics.count("pbft-view-changes-installed")
+        if self.tracer.enabled:
+            self._trace("pbft.viewchange", new_view=self.view)
         # Adopt the highest prepared batch reported by the quorum.
         for vc in votes.values():
             if vc.prepared_batch is not None and vc.prepared_height > self._highest_prepared[0]:

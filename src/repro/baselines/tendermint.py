@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..crypto.hashing import DIGEST_SIZE
+from ..obs import short_id
 from .common import Batch, BaselineParty, GENESIS_DIGEST, Vote
 
 #: Digest placeholder for nil votes.
@@ -112,6 +113,11 @@ class TendermintParty(BaselineParty):
             )
         self.metrics.proposed_at.setdefault(batch.digest, self.sim.now)
         self.metrics.count("tendermint-proposals")
+        if self.tracer.enabled:
+            self._trace(
+                "tendermint.propose", round=height,
+                tm_round=round, batch=short_id(batch.digest),
+            )
         self._broadcast(TMProposal(height=height, round=round, batch=batch), round=height)
 
     # ------------------------------------------------------------------ messages
@@ -212,6 +218,10 @@ class TendermintParty(BaselineParty):
                 batch = self._batches[digest]
                 self.commit_batch(batch)
                 self.metrics.count("tendermint-decisions")
+                if self.tracer.enabled:
+                    self._trace(
+                        "tendermint.decide", round=height, batch=short_id(digest)
+                    )
                 self.height += 1
                 self.round = 1
                 self.step = "new"

@@ -54,3 +54,21 @@ def permutation_from_beacon(round: int, beacon_value: bytes, n: int) -> RankAssi
 def leader_is_corrupt_probability(n: int, t: int) -> float:
     """P(rank-0 party is corrupt) = t/n < 1/3 — quoted throughout the paper."""
     return t / n
+
+
+def trace_rank_assignment(
+    tracer, *, time: float, party: int, protocol: str, assignment: RankAssignment
+) -> None:
+    """Emit the ``beacon.permutation`` trace event for one party's view of a
+    round's proposer election (see :mod:`repro.obs`).  No-op when tracing
+    is disabled."""
+    if not tracer.enabled:
+        return
+    tracer.emit(
+        time=time,
+        party=party,
+        protocol=protocol,
+        round=assignment.round,
+        kind="beacon.permutation",
+        payload={"leader": assignment.leader, "rank": assignment.rank_of(party)},
+    )

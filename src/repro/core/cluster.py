@@ -43,6 +43,9 @@ class ClusterConfig:
     #: index -> factory for corrupt parties; None entries mean crash-failure.
     corrupt: dict[int, PartyFactory | None] = dc_field(default_factory=dict)
     extra_party_kwargs: dict = dc_field(default_factory=dict)
+    #: Optional :class:`repro.obs.Tracer`; installed on the Simulation
+    #: *before* any party is built (parties cache ``sim.tracer``).
+    tracer: object | None = None
 
     def __post_init__(self) -> None:
         if len(self.corrupt) > self.t:
@@ -134,6 +137,8 @@ def build_cluster(config: ClusterConfig, sim: Simulation | None = None) -> Clust
     """
     if sim is None:
         sim = Simulation(seed=config.seed)
+    if config.tracer is not None:
+        sim.tracer = config.tracer  # before Network/parties: they cache it
     delay_model = config.delay_model if config.delay_model is not None else FixedDelay(0.1)
     metrics = Metrics(n=config.n)
     network = Network(sim, config.n, delay_model, metrics)

@@ -26,11 +26,12 @@ import copy
 from typing import Callable
 
 from ..crypto.keyring import Keyring
+from ..obs import short_id
 from ..sim.metrics import Metrics
 from ..sim.network import Network
 from ..sim.simulator import Simulation
 from . import messages as msg
-from .beacon import RankAssignment, permutation_from_beacon
+from .beacon import RankAssignment, permutation_from_beacon, trace_rank_assignment
 from .messages import (
     Authenticator,
     BeaconShare,
@@ -87,8 +88,12 @@ class ICC0Party:
         self.sim = sim
         self.network = network
         self.metrics: Metrics = network.metrics
+        #: Cached trace sink — install a Tracer on the Simulation *before*
+        #: constructing parties (build_cluster does; see repro.obs).
+        self.tracer = sim.tracer
         self.payload_source = payload_source
         self.pool = MessagePool(keyring)
+        self.pool.bind_tracing(self.tracer, sim, index, self.protocol_name)
 
         # Tree-Building state (Figure 1).
         self.round = 0  # current round k; 0 = not yet started
@@ -129,6 +134,17 @@ class ICC0Party:
 
     def _wake(self) -> None:
         self._progress()
+
+    def _trace(self, kind: str, round: int | None = None, **payload) -> None:
+        """Emit one trace event; callers guard with ``self.tracer.enabled``."""
+        self.tracer.emit(
+            time=self.sim.now,
+            party=self.index,
+            protocol=self.protocol_name,
+            round=self.round if round is None else round,
+            kind=kind,
+            payload=payload,
+        )
 
     # -------------------------------------------------------------- dissemination
 
@@ -180,6 +196,8 @@ class ICC0Party:
             self.pool.set_beacon_value(k, value)
             self._beacon_computed = k
             self.metrics.count("beacons-computed")
+            if self.tracer.enabled:
+                self._trace("icc.beacon.computed", round=k)
 
     # ------------------------------------------------------------ the main loop
 
@@ -228,6 +246,12 @@ class ICC0Party:
         self._echoed = set()
         self._wakes_scheduled = set()
         self.metrics.on_round_entry(self.index, k, self.sim.now)
+        if self.tracer.enabled:
+            self._trace("icc.round.enter", round=k, rank=self.my_rank)
+            trace_rank_assignment(
+                self.tracer, time=self.sim.now, party=self.index,
+                protocol=self.protocol_name, assignment=self.ranks,
+            )
         # Timer for our own proposal delay; Δntry wakes are scheduled lazily
         # when candidate blocks actually appear (see _schedule_wake).
         self._schedule_wake(self.round_start + self.delays.prop(self.my_rank))
@@ -247,6 +271,7 @@ class ICC0Party:
         notarization: Notarization | None = None
         block: Block | None = None
 
+        combined_here = False
         already = self.pool.notarized_blocks(k)
         if already:
             block = min(already, key=lambda b: b.hash)
@@ -266,9 +291,15 @@ class ICC0Party:
                 )
                 self.pool.add(notarization)
                 block = candidate
+                combined_here = True
                 self.metrics.count("notarizations-combined")
         if block is None or notarization is None:
             return False
+        if self.tracer.enabled:
+            self._trace(
+                "icc.round.done", round=k, block=short_id(block.hash),
+                combined=combined_here, supported=len(self.notar_shared),
+            )
 
         # "broadcast the notarization for B"
         self._broadcast(notarization)
@@ -306,6 +337,10 @@ class ICC0Party:
         self.pool.add(fshare)
         self._broadcast(fshare)
         self.metrics.count("finalization-shares-sent")
+        if self.tracer.enabled:
+            self._trace(
+                "icc.share.finalization", round=block.round, block=short_id(block.hash)
+            )
 
     # -- clause (b): propose a block ------------------------------------------
 
@@ -341,6 +376,12 @@ class ICC0Party:
         self.metrics.count("blocks-proposed")
         if self.my_rank == 0:
             self.metrics.count("leader-proposals")
+        if self.tracer.enabled:
+            self._trace(
+                "icc.block.proposed", round=k, block=short_id(block.hash),
+                parent=short_id(parent.hash), payload_bytes=payload.wire_size(),
+                rank=self.my_rank,
+            )
         self.proposed = True
         return True
 
@@ -397,11 +438,17 @@ class ICC0Party:
             )
             self._disseminate_block(block, auth, parent_notz)
             self.metrics.count("blocks-echoed")
+            if self.tracer.enabled:
+                self._trace(
+                    "icc.block.echoed", round=k, block=short_id(block.hash), rank=rank
+                )
         # "if some block in N has rank r then D <- D ∪ {r}
         #  else N <- N ∪ {B}, broadcast a notarization share for B"
         if rank in self.notar_shared.values():
             self.disqualified.add(rank)
             self.metrics.count("ranks-disqualified")
+            if self.tracer.enabled:
+                self._trace("icc.rank.disqualified", round=k, rank=rank)
         else:
             self.notar_shared[block.hash] = rank
             self._send_notarization_share(block)
@@ -420,6 +467,10 @@ class ICC0Party:
         self.pool.add(nshare)
         self._broadcast(nshare)
         self.metrics.count("notarization-shares-sent")
+        if self.tracer.enabled:
+            self._trace(
+                "icc.share.notarization", round=block.round, block=short_id(block.hash)
+            )
 
     # -- Figure 2: the Finalization subprotocol ---------------------------------
 
@@ -430,6 +481,7 @@ class ICC0Party:
         while True:
             target: Block | None = None
             finalization: Finalization | None = None
+            combined_here = False
             for k in self.pool.rounds_with_final_activity():
                 if k <= self.k_max:
                     continue
@@ -452,10 +504,16 @@ class ICC0Party:
                     )
                     self.pool.add(finalization)
                     target = candidate
+                    combined_here = True
                     self.metrics.count("finalizations-combined")
                     break
             if target is None or finalization is None:
                 return progressed
+            if self.tracer.enabled:
+                self._trace(
+                    "icc.finalization", round=target.round,
+                    block=short_id(target.hash), combined=combined_here,
+                )
             # "broadcast the finalization for B"
             self._broadcast(finalization)
             self._commit_chain(target)
@@ -489,6 +547,12 @@ class ICC0Party:
             self.output_log.append(committed)
             for listener in self.commit_listeners:
                 listener(committed)
+            if self.tracer.enabled:
+                self._trace(
+                    "icc.block.committed", round=committed.round,
+                    block=short_id(committed.hash), proposer=committed.proposer,
+                    payload_bytes=committed.payload.wire_size(),
+                )
             self.metrics.on_commit(
                 time=self.sim.now,
                 observer=self.index,

@@ -23,6 +23,7 @@ ICC0/ICC1, paid for removing the leader bottleneck without a gossip layer.
 
 from __future__ import annotations
 
+from ..obs import short_id
 from ..rbc.protocol import RbcEndpoint, RbcMessage
 from .icc0 import ICC0Party
 from .messages import Authenticator, Block, Notarization
@@ -55,7 +56,13 @@ class ICC2Party(ICC0Party):
     ) -> None:
         if block.hash not in self._rbc_handled:
             self._rbc_handled.add(block.hash)
-            self.rbc.disperse(serialize_block(block))
+            data = serialize_block(block)
+            if self.tracer.enabled:
+                self._trace(
+                    "rbc.disperse", round=block.round,
+                    block=short_id(block.hash), bytes=len(data),
+                )
+            self.rbc.disperse(data)
         if auth is not None:
             self._broadcast(auth)
         if parent_notarization is not None:
@@ -73,7 +80,13 @@ class ICC2Party(ICC0Party):
             block = deserialize_block(data)
         except DeserializeError:
             self.metrics.count("rbc-undecodable-blocks")
+            if self.tracer.enabled:
+                self._trace("rbc.undecodable", round=None, dealer=dealer)
             return
+        if self.tracer.enabled:
+            self._trace(
+                "rbc.deliver", round=block.round, dealer=dealer, bytes=len(data)
+            )
         self._rbc_handled.add(block.hash)
         if self.pool.add(block):
             self._progress()

@@ -23,6 +23,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 from ..crypto.keyring import Keyring
+from ..obs import NULL_TRACER
 from . import messages as msg
 from .messages import (
     Authenticator,
@@ -56,6 +57,13 @@ class MessagePool:
         self.t = keyring.t
         self.stats = PoolStats()
 
+        # Trace wiring (see repro.obs): the owning party binds its tracer
+        # so verification drops and GC sweeps are attributable to a party.
+        self._tracer = NULL_TRACER
+        self._trace_sim = None
+        self._trace_party = 0
+        self._trace_protocol = "pool"
+
         self.blocks: dict[bytes, Block] = {ROOT_HASH: ROOT_BLOCK}
         self._children: dict[bytes, set[bytes]] = defaultdict(set)
         self._blocks_by_round: dict[int, set[bytes]] = defaultdict(set)
@@ -78,8 +86,31 @@ class MessagePool:
 
     # -- ingestion ---------------------------------------------------------
 
+    def bind_tracing(self, tracer, sim, party: int, protocol: str) -> None:
+        """Attach a trace sink (called by the owning party at construction)."""
+        self._tracer = tracer
+        self._trace_sim = sim
+        self._trace_party = party
+        self._trace_protocol = protocol
+
     def add(self, message: object) -> bool:
         """Verify and store a message; returns True if it changed the pool."""
+        if not self._tracer.enabled:
+            return self._add(message)
+        before = self.stats.invalid_dropped
+        changed = self._add(message)
+        if self.stats.invalid_dropped > before:
+            self._tracer.emit(
+                time=self._trace_sim.now if self._trace_sim is not None else 0.0,
+                party=self._trace_party,
+                protocol=self._trace_protocol,
+                round=getattr(message, "round", None),
+                kind="pool.invalid",
+                payload={"artifact": type(message).__name__},
+            )
+        return changed
+
+    def _add(self, message: object) -> bool:
         if isinstance(message, Block):
             return self._add_block(message)
         if isinstance(message, Authenticator):
@@ -441,6 +472,15 @@ class MessagePool:
             del self._beacon_shares[round]
         for round in [r for r in self._pending_beacon_shares if r < before_round]:
             del self._pending_beacon_shares[round]
+        if self._tracer.enabled and doomed:
+            self._tracer.emit(
+                time=self._trace_sim.now if self._trace_sim is not None else 0.0,
+                party=self._trace_party,
+                protocol=self._trace_protocol,
+                round=None,
+                kind="pool.prune",
+                payload={"before_round": before_round, "removed": len(doomed)},
+            )
         return len(doomed)
 
     def artifact_count(self) -> int:

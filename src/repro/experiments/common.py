@@ -7,6 +7,7 @@ These helpers keep protocol construction uniform across experiments.
 
 from __future__ import annotations
 
+import os
 from typing import Sequence
 
 from ..core.cluster import Cluster, ClusterConfig, build_cluster
@@ -14,7 +15,55 @@ from ..core.icc0 import ICC0Party
 from ..core.icc1 import ICC1Party
 from ..core.icc2 import ICC2Party
 from ..gossip import GossipParams, build_overlay
+from ..obs import Tracer, write_jsonl
 from ..sim.delays import DelayModel
+
+# ---------------------------------------------------------------------- tracing
+# Opt-in structured tracing for the whole harness (the --trace flag).
+# When enabled, every cluster built through make_icc_config gets a fresh
+# Tracer and run_icc exports its events to a numbered JSONL file.
+
+_TRACE_DIR: str | None = None
+_TRACE_SEQ = 0
+#: Tracer attached to the most recent config; flushed by run_icc or by
+#: the next enable/attach cycle so experiments that drive clusters
+#: manually still get their export.
+_PENDING: tuple[Tracer, str] | None = None
+
+
+def enable_tracing(directory: str | None) -> None:
+    """Turn harness-wide tracing on (a directory path) or off (``None``)."""
+    global _TRACE_DIR, _TRACE_SEQ
+    flush_pending_trace()
+    _TRACE_DIR = directory
+    _TRACE_SEQ = 0
+    if directory is not None:
+        os.makedirs(directory, exist_ok=True)
+
+
+def tracing_enabled() -> bool:
+    return _TRACE_DIR is not None
+
+
+def _attach_tracer(config: ClusterConfig, label: str) -> None:
+    global _TRACE_SEQ, _PENDING
+    flush_pending_trace()
+    tracer = Tracer()
+    config.tracer = tracer
+    path = os.path.join(_TRACE_DIR, f"{_TRACE_SEQ:04d}-{label}.jsonl")
+    _TRACE_SEQ += 1
+    _PENDING = (tracer, path)
+
+
+def flush_pending_trace() -> str | None:
+    """Export the most recent run's events, if a tracer is outstanding."""
+    global _PENDING
+    if _PENDING is None:
+        return None
+    tracer, path = _PENDING
+    _PENDING = None
+    write_jsonl(tracer.events(), path)
+    return path
 
 
 def make_icc_config(
@@ -58,7 +107,10 @@ def make_icc_config(
         kwargs["payload_source"] = payload_source
     if corrupt is not None:
         kwargs["corrupt"] = corrupt
-    return ClusterConfig(**kwargs)
+    config = ClusterConfig(**kwargs)
+    if tracing_enabled():
+        _attach_tracer(config, f"{protocol.lower()}-n{n}-seed{seed}")
+    return config
 
 
 def run_icc(config: ClusterConfig, duration: float) -> Cluster:
@@ -67,6 +119,8 @@ def run_icc(config: ClusterConfig, duration: float) -> Cluster:
     cluster.start()
     cluster.run_for(duration)
     cluster.check_safety()
+    if _PENDING is not None and _PENDING[0] is config.tracer:
+        flush_pending_trace()
     return cluster
 
 

@@ -2,16 +2,20 @@
 
 Usage::
 
-    python -m repro.experiments.run_all [--quick]
+    python -m repro.experiments.run_all [--quick] [--trace DIR]
 
 ``--quick`` shrinks the Table 1 measurement window from the paper's 5
-minutes to 60 seconds (everything else is already fast).
+minutes to 60 seconds (everything else is already fast).  ``--trace DIR``
+turns on structured tracing (:mod:`repro.obs`) for every ICC cluster the
+experiments build, exporting one JSONL file per run into ``DIR`` — see
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
 import sys
 
+from .common import enable_tracing, flush_pending_trace
 from . import (
     ablations,
     bandwidth,
@@ -31,18 +35,23 @@ from . import (
 def main(argv: list[str] | None = None) -> None:
     args = argv if argv is not None else sys.argv[1:]
     quick = "--quick" in args
-    table1.main(duration=60.0 if quick else 300.0)
-    throughput_latency.main()
-    message_complexity.main()
-    round_complexity.main()
-    robustness.main()
-    responsiveness.main()
-    dissemination.main()
-    comparison.main()
-    properties.main()
-    intermittent.main()
-    bandwidth.main()
-    ablations.main()
+    if "--trace" in args:
+        enable_tracing(args[args.index("--trace") + 1])
+    try:
+        table1.main(duration=60.0 if quick else 300.0)
+        throughput_latency.main()
+        message_complexity.main()
+        round_complexity.main()
+        robustness.main()
+        responsiveness.main()
+        dissemination.main()
+        comparison.main()
+        properties.main()
+        intermittent.main()
+        bandwidth.main()
+        ablations.main()
+    finally:
+        flush_pending_trace()
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..crypto.hashing import DIGEST_SIZE, tagged_hash
+from ..obs import short_id
 from ..sim.network import Network, wire_size as artifact_wire_size
 from ..core import messages as msg
 
@@ -150,6 +151,7 @@ class GossipNode:
         self.index = index
         self.network = network
         self.sim = network.sim
+        self.tracer = network.sim.tracer
         self.neighbors = list(neighbors)
         self.params = params
         self.deliver = deliver
@@ -166,6 +168,18 @@ class GossipNode:
         if aid in self._have:
             return
         self._have[aid] = artifact
+        if self.tracer.enabled:
+            size = artifact_wire_size(artifact)
+            self.tracer.emit(
+                time=self.sim.now, party=self.index, protocol="gossip",
+                round=getattr(artifact, "round", None), kind="gossip.publish",
+                payload={
+                    "id": short_id(aid),
+                    "kind": getattr(artifact, "kind", type(artifact).__name__),
+                    "bytes": size,
+                    "push": size <= self.params.push_threshold,
+                },
+            )
         self._propagate(aid, artifact, exclude=None)
 
     def _propagate(self, aid: bytes, artifact: object, exclude: int | None) -> None:
@@ -199,8 +213,22 @@ class GossipNode:
         if message.artifact_id in self._have:
             return
         self._have[message.artifact_id] = message.artifact
+        if self.tracer.enabled:
+            self._trace_deliver(message.artifact_id, message.artifact, via="push")
         self.deliver(message.artifact)
         self._propagate(message.artifact_id, message.artifact, exclude=None)
+
+    def _trace_deliver(self, aid: bytes, artifact: object, via: str) -> None:
+        self.tracer.emit(
+            time=self.sim.now, party=self.index, protocol="gossip",
+            round=getattr(artifact, "round", None), kind="gossip.deliver",
+            payload={
+                "id": short_id(aid),
+                "kind": getattr(artifact, "kind", type(artifact).__name__),
+                "bytes": artifact_wire_size(artifact),
+                "via": via,
+            },
+        )
 
     def _on_advert(self, advert: Advert) -> None:
         aid = advert.artifact_id
@@ -225,6 +253,12 @@ class GossipNode:
             if cycles > self.params.max_request_cycles:
                 # Stop burning events; a fresh advert re-arms the request.
                 self._requested.pop(aid, None)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        time=self.sim.now, party=self.index, protocol="gossip",
+                        round=None, kind="gossip.giveup",
+                        payload={"id": short_id(aid), "cycles": cycles},
+                    )
                 return
             asked.clear()
             candidates = list(self._advertisers.get(aid, []))
@@ -232,6 +266,13 @@ class GossipNode:
                 return
         target = candidates[0]
         asked.add(target)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                time=self.sim.now, party=self.index, protocol="gossip",
+                round=None, kind="gossip.request",
+                payload={"id": short_id(aid), "target": target,
+                         "cycle": self._retry_cycles.get(aid, 0)},
+            )
         self.network.send(
             self.index, target, ArtifactRequest(artifact_id=aid, requester=self.index)
         )
@@ -255,5 +296,7 @@ class GossipNode:
             return  # malformed or malicious body; ignore, retries continue
         self._have[aid] = delivery.artifact
         self._requested.pop(aid, None)
+        if self.tracer.enabled:
+            self._trace_deliver(aid, delivery.artifact, via="request")
         self.deliver(delivery.artifact)
         self._propagate(aid, delivery.artifact, exclude=None)

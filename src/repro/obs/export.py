@@ -1,0 +1,57 @@
+"""JSONL import/export for traces.
+
+One JSON object per line, in emit order, with the exact field layout of
+:meth:`repro.obs.TraceEvent.to_dict`:
+
+    {"time": 0.15, "party": 3, "protocol": "ICC0", "round": 1,
+     "kind": "icc.block.proposed", "payload": {"block": "9f3a...", ...}}
+
+Round-trips losslessly (``tests/obs`` pins this).  Payload values that are
+raw ``bytes`` are converted to hex defensively; emit sites should already
+pass JSON-safe values.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from .tracer import TraceEvent
+
+
+def _json_safe(value: object) -> object:
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value).hex()
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return value
+
+
+def write_jsonl(events: Iterable[TraceEvent], path_or_file: str | IO[str]) -> int:
+    """Write events as JSONL; returns the number written."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            return write_jsonl(events, handle)
+    count = 0
+    for event in events:
+        record = event.to_dict()
+        record["payload"] = _json_safe(record["payload"])
+        path_or_file.write(json.dumps(record, sort_keys=True) + "\n")
+        count += 1
+    return count
+
+
+def read_jsonl(path_or_file: str | IO[str]) -> list[TraceEvent]:
+    """Read a JSONL trace back into :class:`TraceEvent` objects."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "r", encoding="utf-8") as handle:
+            return read_jsonl(handle)
+    events: list[TraceEvent] = []
+    for line in path_or_file:
+        line = line.strip()
+        if not line:
+            continue
+        events.append(TraceEvent.from_dict(json.loads(line)))
+    return events

@@ -1,0 +1,280 @@
+"""The trace event-kind registry: every kind the tracing layer may emit.
+
+Each :class:`EventKind` names the emitting module, describes the event and
+declares its payload fields.  :meth:`repro.obs.Tracer.emit` rejects kinds
+that are not registered here, so the registry is the single source of truth
+for the schema — ``docs/OBSERVABILITY.md`` documents exactly this set and a
+test (``tests/obs/test_schema_docs.py``) cross-checks the two.
+
+Field values must be JSON-safe (str/int/float/bool/None or lists thereof);
+block and artifact identities are short hex prefixes (see
+:func:`repro.obs.short_id`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EventKind:
+    """Schema entry for one trace event kind."""
+
+    name: str
+    module: str  # dotted module that emits it
+    description: str
+    fields: tuple[str, ...] = ()
+
+
+#: name -> spec, populated below via :func:`register`.
+EVENT_KINDS: dict[str, EventKind] = {}
+
+
+def register(name: str, module: str, description: str, fields: tuple[str, ...] = ()) -> EventKind:
+    """Register an event kind (at import time; duplicate names are bugs)."""
+    if name in EVENT_KINDS:
+        raise ValueError(f"duplicate trace event kind {name!r}")
+    spec = EventKind(name=name, module=module, description=description, fields=fields)
+    EVENT_KINDS[name] = spec
+    return spec
+
+
+# -- simulator ----------------------------------------------------------------
+
+register(
+    "sim.run", "repro.sim.simulator",
+    "One Simulation.run() drain finished (per run_for / run_until call).",
+    ("events_processed", "until"),
+)
+
+# -- network ------------------------------------------------------------------
+
+register(
+    "net.broadcast", "repro.sim.network",
+    "A party broadcast one message to all n parties (paper convention: "
+    "counts as `copies` = n messages).",
+    ("kind", "bytes", "copies"),
+)
+register(
+    "net.send", "repro.sim.network",
+    "Point-to-point send of one message (counts as 1 message).",
+    ("kind", "bytes", "receiver"),
+)
+register(
+    "net.multicast", "repro.sim.network",
+    "Same message sent to a receiver subset (gossip overlay fan-out; "
+    "counts as `receivers` messages).",
+    ("kind", "bytes", "receivers"),
+)
+register(
+    "net.crash", "repro.sim.network",
+    "A party was silenced (crash failure or node going offline).",
+    (),
+)
+register(
+    "net.revive", "repro.sim.network",
+    "A crashed/offline party rejoined.",
+    (),
+)
+register(
+    "net.partition", "repro.sim.network",
+    "A partition was installed between `group` and the rest until `heal_time`.",
+    ("group", "heal_time"),
+)
+
+# -- message pool -------------------------------------------------------------
+
+register(
+    "pool.invalid", "repro.core.pool",
+    "A message failed cryptographic or structural verification and was dropped.",
+    ("artifact",),
+)
+register(
+    "pool.prune", "repro.core.pool",
+    "Garbage collection discarded all artifacts below `before_round`.",
+    ("before_round", "removed"),
+)
+
+# -- random beacon ------------------------------------------------------------
+
+register(
+    "beacon.permutation", "repro.core.beacon",
+    "A party derived the round's rank permutation from the beacon value "
+    "(the proposer election: `leader` is the rank-0 party, `rank` is the "
+    "tracing party's own rank).",
+    ("leader", "rank"),
+)
+
+# -- ICC protocol core --------------------------------------------------------
+
+register(
+    "icc.beacon.computed", "repro.core.icc0",
+    "A party combined t+1 shares into the round's beacon value R_k.",
+    (),
+)
+register(
+    "icc.round.enter", "repro.core.icc0",
+    "A party entered a round (t0 of Figure 1; beacon value known).",
+    ("rank",),
+)
+register(
+    "icc.block.proposed", "repro.core.icc0",
+    "Clause (b): a party proposed a block.",
+    ("block", "parent", "payload_bytes", "rank"),
+)
+register(
+    "icc.block.echoed", "repro.core.icc0",
+    "Clause (c): a party relayed another proposer's block plus artifacts.",
+    ("block", "rank"),
+)
+register(
+    "icc.share.notarization", "repro.core.icc0",
+    "A party broadcast its notarization share for a block.",
+    ("block",),
+)
+register(
+    "icc.share.finalization", "repro.core.icc0",
+    "A party broadcast its finalization share for a block.",
+    ("block",),
+)
+register(
+    "icc.rank.disqualified", "repro.core.icc0",
+    "Clause (c): a proposer rank was disqualified (two supported blocks).",
+    ("rank",),
+)
+register(
+    "icc.round.done", "repro.core.icc0",
+    "Clause (a): a party saw (or combined) a notarization for the round "
+    "and moved on; `combined` is True when this party aggregated the "
+    "shares itself, `supported` is |N| (blocks it notarization-shared).",
+    ("block", "combined", "supported"),
+)
+register(
+    "icc.finalization", "repro.core.icc0",
+    "Figure 2: a party saw (or combined, per `combined`) a finalization.",
+    ("block", "combined"),
+)
+register(
+    "icc.block.committed", "repro.core.icc0",
+    "Figure 2: a party appended a finalized block to its output log.",
+    ("block", "proposer", "payload_bytes"),
+)
+register(
+    "icc.artifact.gossip", "repro.core.icc1",
+    "ICC1: an artifact fully received via the gossip sub-layer entered the pool.",
+    ("artifact",),
+)
+register(
+    "rbc.disperse", "repro.core.icc2",
+    "ICC2: a party dispersed a serialized block through reliable broadcast.",
+    ("block", "bytes"),
+)
+register(
+    "rbc.deliver", "repro.core.icc2",
+    "ICC2: a reliable-broadcast instance delivered a reconstructed block.",
+    ("dealer", "bytes"),
+)
+register(
+    "rbc.undecodable", "repro.core.icc2",
+    "ICC2: a completed RBC instance carried bytes that do not decode to a block.",
+    ("dealer",),
+)
+
+# -- gossip sub-layer ---------------------------------------------------------
+
+register(
+    "gossip.publish", "repro.gossip.protocol",
+    "A locally created artifact was injected into the overlay (`push` is "
+    "True for small artifacts flooded directly, False for advertised ones).",
+    ("id", "kind", "bytes", "push"),
+)
+register(
+    "gossip.request", "repro.gossip.protocol",
+    "A node requested an advertised artifact body from one advertiser.",
+    ("id", "target", "cycle"),
+)
+register(
+    "gossip.deliver", "repro.gossip.protocol",
+    "A node obtained an artifact body from the overlay (`via` is "
+    "'push' or 'request').",
+    ("id", "kind", "bytes", "via"),
+)
+register(
+    "gossip.giveup", "repro.gossip.protocol",
+    "A node exhausted its request retry budget for an artifact "
+    "(a fresh advert re-arms it).",
+    ("id", "cycles"),
+)
+
+# -- baselines ----------------------------------------------------------------
+
+register(
+    "baseline.commit", "repro.baselines.common",
+    "A baseline replica (PBFT/HotStuff/Tendermint) committed a batch.",
+    ("batch", "proposer"),
+)
+register(
+    "hotstuff.propose", "repro.baselines.hotstuff",
+    "A HotStuff leader proposed a node for its view.",
+    ("view", "batch"),
+)
+register(
+    "hotstuff.timeout", "repro.baselines.hotstuff",
+    "A HotStuff replica timed out and sent NewView (pacemaker fired).",
+    ("view",),
+)
+register(
+    "pbft.propose", "repro.baselines.pbft",
+    "A PBFT primary pre-prepared a batch.",
+    ("view", "batch"),
+)
+register(
+    "pbft.viewchange", "repro.baselines.pbft",
+    "A PBFT replica installed a new view after a quorum of view-change votes.",
+    ("new_view",),
+)
+register(
+    "tendermint.propose", "repro.baselines.tendermint",
+    "A Tendermint proposer broadcast a proposal for (height, round).",
+    ("tm_round", "batch"),
+)
+register(
+    "tendermint.decide", "repro.baselines.tendermint",
+    "A Tendermint validator decided a height (before timeout_commit).",
+    ("batch",),
+)
+
+# -- adversary behaviours -----------------------------------------------------
+
+register(
+    "adv.equivocate", "repro.adversary.behaviors",
+    "An equivocating proposer showed two conflicting blocks to the two "
+    "halves of the network.",
+    ("blocks",),
+)
+register(
+    "adv.withhold.finalization", "repro.adversary.behaviors",
+    "A corrupt party withheld its finalization share for a block.",
+    ("block",),
+)
+register(
+    "adv.withhold.notarization", "repro.adversary.behaviors",
+    "A corrupt party withheld its notarization share for a block.",
+    ("block",),
+)
+register(
+    "adv.lazy.payload", "repro.adversary.behaviors",
+    "A lazy leader substituted an empty payload for its proposal.",
+    (),
+)
+register(
+    "adv.slow.propose", "repro.adversary.behaviors",
+    "A slow proposer released its (deliberately delayed) proposal.",
+    ("lag",),
+)
+register(
+    "adv.aggressive.sign", "repro.adversary.behaviors",
+    "An aggressive Byzantine party signed notarization + finalization "
+    "shares for a block, ignoring rank priority and delays.",
+    ("block",),
+)

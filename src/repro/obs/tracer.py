@@ -1,0 +1,177 @@
+"""The structured-event tracer: ring-buffered collector + zero-cost no-op.
+
+Design constraints (ISSUE: observability layer):
+
+* **Zero cost when disabled.**  The default tracer everywhere is
+  :data:`NULL_TRACER`, whose ``enabled`` is False; every emit site in
+  protocol code is guarded by ``if tracer.enabled:`` so the per-event
+  overhead of a disabled tracer is a single attribute load + branch, and
+  no payload dict is ever built.
+* **Bounded memory when enabled.**  :class:`Tracer` keeps events in a ring
+  buffer (``collections.deque(maxlen=...)``); long runs evict the oldest
+  events rather than growing without bound.  ``dropped`` reports how many
+  were evicted.
+* **No behavioural footprint.**  Emitting never touches the simulation
+  RNG, clock or event queue, so runs are bit-identical with tracing on or
+  off (pinned by ``tests/obs/test_parity.py``).
+
+Events carry ``(time, party, protocol, round, kind, payload)``; ``kind``
+must be registered in :mod:`repro.obs.registry`, which is the documented
+schema.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from .registry import EVENT_KINDS
+
+#: Default ring-buffer capacity (events).
+DEFAULT_CAPACITY = 1 << 20
+
+
+def short_id(data: bytes) -> str:
+    """Short hex identity for a block hash / digest (16 hex chars)."""
+    return data.hex()[:16]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace event.
+
+    ``party`` is a 1-based party index, or 0 for infrastructure events
+    (simulator, network bookkeeping).  ``protocol`` names the emitting
+    layer: a protocol name (``ICC0``, ``HotStuff``, ...) or a substrate
+    label (``sim``, ``net``, ``gossip``).  ``round`` is the protocol round
+    / height when one applies, else None.  ``payload`` holds the
+    kind-specific fields declared in the registry; values are JSON-safe.
+    """
+
+    time: float
+    party: int
+    protocol: str
+    round: int | None
+    kind: str
+    payload: Mapping = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form used by the JSONL exporter."""
+        return {
+            "time": self.time,
+            "party": self.party,
+            "protocol": self.protocol,
+            "round": self.round,
+            "kind": self.kind,
+            "payload": dict(self.payload),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TraceEvent":
+        return cls(
+            time=float(data["time"]),
+            party=int(data["party"]),
+            protocol=str(data["protocol"]),
+            round=None if data.get("round") is None else int(data["round"]),
+            kind=str(data["kind"]),
+            payload=dict(data.get("payload", {})),
+        )
+
+
+class UnknownEventKind(KeyError):
+    """An emit used a kind that is not in the registry (a schema bug)."""
+
+
+class Tracer:
+    """Ring-buffered in-memory trace collector."""
+
+    enabled = True
+
+    def __init__(self, capacity: int | None = DEFAULT_CAPACITY) -> None:
+        self._buffer: deque[TraceEvent] = deque(maxlen=capacity)
+        self.capacity = capacity
+        self.emitted = 0
+
+    def emit(
+        self,
+        *,
+        time: float,
+        party: int,
+        protocol: str,
+        round: int | None,
+        kind: str,
+        payload: Mapping | None = None,
+    ) -> None:
+        """Record one event.  ``kind`` must be registered."""
+        if kind not in EVENT_KINDS:
+            raise UnknownEventKind(
+                f"trace event kind {kind!r} is not registered in repro.obs.registry"
+            )
+        self._buffer.append(
+            TraceEvent(
+                time=time,
+                party=party,
+                protocol=protocol,
+                round=round,
+                kind=kind,
+                payload=payload if payload is not None else {},
+            )
+        )
+        self.emitted += 1
+
+    # -- queries ---------------------------------------------------------------
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """A snapshot of buffered events, optionally filtered by kind."""
+        if kind is None:
+            return list(self._buffer)
+        return [e for e in self._buffer if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterable[TraceEvent]:
+        return iter(list(self._buffer))
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring buffer."""
+        return self.emitted - len(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self.emitted = 0
+
+
+class NullTracer:
+    """The zero-cost disabled tracer: emits nothing, stores nothing.
+
+    ``enabled`` is False, so guarded call sites never build payloads; a
+    stray unguarded ``emit`` is still a harmless no-op.
+    """
+
+    enabled = False
+    capacity = 0
+    emitted = 0
+    dropped = 0
+
+    def emit(self, **kwargs) -> None:  # noqa: D102 - intentional no-op
+        pass
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:  # noqa: D102
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self):
+        return iter(())
+
+    def clear(self) -> None:  # noqa: D102
+        pass
+
+
+#: The shared default tracer; everything points here unless a run installs
+#: a real :class:`Tracer` (e.g. via ``ClusterConfig(tracer=...)``).
+NULL_TRACER = NullTracer()

@@ -50,7 +50,20 @@ class Metrics:
     # -- recording -----------------------------------------------------------
 
     def on_broadcast(self, sender: int, size: int, kind: str, round: int | None = None) -> None:
-        """One party broadcast a message of ``size`` bytes to everyone."""
+        """One party broadcast a message of ``size`` bytes to everyone.
+
+        Two deliberately different conventions, per the module docstring:
+
+        * **messages** — the broadcast counts as ``n`` messages (one per
+          party, the sender's free self-delivery included), matching the
+          paper's message-complexity accounting ("one party broadcasting a
+          message contributes a term of n", Section 1);
+        * **bytes** — only the ``n - 1`` copies that actually cross the
+          wire are charged, so ``bytes_sent`` models real per-node egress
+          (Table 1's traffic column) rather than the n-fold count.
+
+        Both conventions are pinned by ``tests/sim/test_metrics.py``.
+        """
         self.msgs_sent[sender] += self.n
         self.bytes_sent[sender] += size * (self.n - 1)
         self.msgs_by_kind[kind] += self.n

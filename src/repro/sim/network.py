@@ -103,12 +103,20 @@ class Network:
         offline): it neither sends nor receives, and messages addressed to
         it are *dropped* (unlike a partition, which holds them back)."""
         self._crashed.add(index)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(time=self.sim.now, party=index, protocol="net",
+                        round=None, kind="net.crash")
 
     def revive(self, index: int) -> None:
         """Bring a crashed/offline party back.  In the paper's model a
         corrupt party stays corrupt; revive models an *honest* node that
         was offline and rejoins — the catch-up subprotocol's scenario."""
         self._crashed.discard(index)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(time=self.sim.now, party=index, protocol="net",
+                        round=None, kind="net.revive")
 
     def is_crashed(self, index: int) -> bool:
         return index in self._crashed
@@ -117,6 +125,11 @@ class Network:
         """Until ``heal_time``, messages between ``group`` and the rest are
         held back (and delivered at heal time — eventual delivery holds)."""
         self._partitions.append((frozenset(group), heal_time))
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(time=self.sim.now, party=0, protocol="net", round=None,
+                        kind="net.partition",
+                        payload={"group": sorted(group), "heal_time": heal_time})
 
     def _partition_hold(self, sender: int, receiver: int) -> float:
         """Extra wait imposed by active partitions (0 when none)."""
@@ -143,6 +156,13 @@ class Network:
             return
         size = wire_size(message)
         self.metrics.on_broadcast(sender, size, message_kind(message), round)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(
+                time=self.sim.now, party=sender, protocol="net", round=round,
+                kind="net.broadcast",
+                payload={"kind": message_kind(message), "bytes": size, "copies": self.n},
+            )
         for receiver in range(1, self.n + 1):
             if receiver == sender:
                 self._deliver(sender, receiver, message)
@@ -159,6 +179,13 @@ class Network:
             return
         size = wire_size(message)
         self.metrics.on_send(sender, size, message_kind(message), round)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(
+                time=self.sim.now, party=sender, protocol="net", round=round,
+                kind="net.send",
+                payload={"kind": message_kind(message), "bytes": size, "receiver": receiver},
+            )
         sent_at = None
         if receiver != sender:
             sent_at = self._transmission_done_at(sender, size)
@@ -169,6 +196,14 @@ class Network:
         if sender in self._crashed:
             return
         size = wire_size(message)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(
+                time=self.sim.now, party=sender, protocol="net", round=round,
+                kind="net.multicast",
+                payload={"kind": message_kind(message), "bytes": size,
+                         "receivers": len(receivers)},
+            )
         for receiver in receivers:
             self.metrics.on_send(sender, size, message_kind(message), round)
             sent_at = None

@@ -11,6 +11,7 @@ from __future__ import annotations
 from random import Random
 from typing import Callable
 
+from ..obs import NULL_TRACER
 from .events import EventHandle, EventQueue
 
 
@@ -22,6 +23,10 @@ class Simulation:
         self.now: float = 0.0
         self.events = EventQueue()
         self._events_processed = 0
+        #: Structured-event tracer (see :mod:`repro.obs`).  The no-op
+        #: default makes tracing free; install a real Tracer *before*
+        #: building parties/networks — they cache this reference.
+        self.tracer = NULL_TRACER
 
     # -- scheduling ---------------------------------------------------------
 
@@ -86,6 +91,11 @@ class Simulation:
             processed += 1
             if stop_when is not None and stop_when():
                 break
+        if self.tracer.enabled:
+            self.tracer.emit(
+                time=self.now, party=0, protocol="sim", round=None, kind="sim.run",
+                payload={"events_processed": processed, "until": until},
+            )
 
     @property
     def events_processed(self) -> int:

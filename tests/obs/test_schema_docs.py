@@ -1,0 +1,54 @@
+"""Cross-check docs/OBSERVABILITY.md against the live event registry.
+
+The registry (``repro.obs.registry``) is the single source of truth for
+the schema; the docs page must document every registered kind, and must
+not document kinds that no longer exist.  Payload field names in the
+docs tables must match the registry's declarations.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+from repro.obs import EVENT_KINDS
+
+DOCS = pathlib.Path(__file__).resolve().parents[2] / "docs" / "OBSERVABILITY.md"
+
+#: A schema-table row: first column is the backticked kind name.  Prose
+#: mentions don't count as documentation — only a table row does, so
+#: stale rows for removed kinds are flagged while narrative references
+#: to attributes (e.g. ``sim.tracer``) are ignored.
+ROW_RE = re.compile(r"^\| `([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)` \|", re.MULTILINE)
+
+
+def documented_kinds() -> set[str]:
+    return set(ROW_RE.findall(DOCS.read_text(encoding="utf-8")))
+
+
+class TestSchemaDocs:
+    def test_docs_page_exists(self):
+        assert DOCS.is_file(), "docs/OBSERVABILITY.md is missing"
+
+    def test_every_registered_kind_is_documented(self):
+        missing = set(EVENT_KINDS) - documented_kinds()
+        assert not missing, f"kinds not documented in OBSERVABILITY.md: {sorted(missing)}"
+
+    def test_no_stale_kinds_in_docs(self):
+        stale = documented_kinds() - set(EVENT_KINDS)
+        assert not stale, f"OBSERVABILITY.md documents unknown kinds: {sorted(stale)}"
+
+    @pytest.mark.parametrize("kind", sorted(EVENT_KINDS))
+    def test_payload_fields_are_documented(self, kind):
+        """The doc row for each kind must mention every payload field."""
+        spec = EVENT_KINDS[kind]
+        text = DOCS.read_text(encoding="utf-8")
+        row = next(
+            (line for line in text.splitlines() if line.startswith(f"| `{kind}` |")),
+            None,
+        )
+        assert row is not None, f"no table row for {kind}"
+        for field in spec.fields:
+            assert f"`{field}`" in row, f"{kind}: field {field!r} missing from docs row"

@@ -5,6 +5,37 @@ from __future__ import annotations
 from repro.sim.metrics import Metrics, NullMetrics
 
 
+class TestBroadcastConventions:
+    """Pin the two deliberately-different broadcast accounting rules.
+
+    The paper counts one broadcast as n messages ("one party broadcasting
+    a message contributes a term of n to the message complexity",
+    Section 1), self-delivery included; bytes are charged only for the
+    n - 1 copies that cross the wire.  The ``on_broadcast`` docstring
+    documents both — this class is the test it points at.
+    """
+
+    def test_messages_count_n_per_broadcast(self):
+        m = Metrics(n=7)
+        m.on_broadcast(3, 100, "block", round=2)
+        assert m.msgs_sent[3] == 7
+        assert m.msgs_by_kind["block"] == 7
+        assert m.msgs_by_round[2] == 7
+
+    def test_bytes_charge_n_minus_1_wire_copies(self):
+        m = Metrics(n=7)
+        m.on_broadcast(3, 100, "block")
+        assert m.bytes_sent[3] == 100 * 6
+        assert m.bytes_by_kind["block"] == 100 * 6
+
+    def test_send_counts_one_message_full_bytes(self):
+        m = Metrics(n=7)
+        m.on_send(3, 100, "share", round=2)
+        assert m.msgs_sent[3] == 1
+        assert m.bytes_sent[3] == 100
+        assert m.msgs_by_round[2] == 1
+
+
 class TestTraffic:
     def test_mean_egress(self):
         m = Metrics(n=2)

@@ -28,6 +28,24 @@ class TestCli:
         second = capsys.readouterr().out
         assert first == second
 
+    def test_trace_runs_and_summarizes(self, capsys):
+        main(["trace", "--n", "4", "--rounds", "5", "--delta", "0.05"])
+        out = capsys.readouterr().out
+        assert "events traced" in out
+        assert "icc.block.committed" in out
+        assert "propose->notarize" in out
+
+    def test_trace_export_and_reload(self, capsys, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        main(["trace", "--n", "4", "--rounds", "5", "--export", path])
+        exported = capsys.readouterr().out
+        main(["trace", "--input", path])
+        reloaded = capsys.readouterr().out
+        assert f"wrote" in exported and path in exported
+        assert "loaded" in reloaded
+        # Same event stream -> identical summary block.
+        assert exported.split("\n\n")[1] == reloaded.split("\n\n")[1]
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -1,0 +1,30 @@
+"""Documentation hygiene: the link/markdown checker must pass."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+CHECKER = pathlib.Path(__file__).resolve().parents[1] / "tools" / "check_docs.py"
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location("check_docs", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDocs:
+    def test_checker_exists(self):
+        assert CHECKER.is_file()
+
+    def test_no_documentation_problems(self):
+        module = load_checker()
+        problems = module.run()
+        assert problems == [], "\n".join(problems)
+
+    def test_markdown_corpus_nonempty(self):
+        module = load_checker()
+        files = {p.name for p in module.doc_files()}
+        assert {"README.md", "DESIGN.md", "EXPERIMENTS.md", "OBSERVABILITY.md"} <= files

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Documentation checks: relative links resolve, markdown is well-formed.
+
+Run from anywhere::
+
+    python tools/check_docs.py
+
+Checks every ``*.md`` file in the repo root and ``docs/``:
+
+* relative links and images point at files/directories that exist
+  (external ``http(s)``/``mailto`` targets and pure ``#anchor`` links are
+  skipped; ``path#anchor`` links are checked for the path part);
+* code fences are balanced (every ``````` opener has a closer);
+* no tab characters inside markdown tables (they break column alignment).
+
+Exit status 0 when clean, 1 with one line per problem otherwise.  CI runs
+this plus the test-suite; ``tests/test_docs.py`` runs it in-process.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+#: Generated reference dumps (arxiv retrievals, exemplar snippets, task
+#: specs) — not maintained documentation, so not held to these checks.
+SKIP = {"PAPERS.md", "SNIPPETS.md", "ISSUE.md", "CHANGES.md"}
+
+#: Inline links/images: [text](target) — target group without title part.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[pathlib.Path]:
+    files = sorted(REPO.glob("*.md"))
+    docs = REPO / "docs"
+    if docs.is_dir():
+        files += sorted(docs.rglob("*.md"))
+    return [f for f in files if f.name not in SKIP]
+
+
+def strip_code(text: str) -> str:
+    """Remove fenced code blocks and inline code so links inside them are ignored."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def check_links(path: pathlib.Path, problems: list[str]) -> None:
+    for target in LINK_RE.findall(strip_code(path.read_text(encoding="utf-8"))):
+        if target.startswith(EXTERNAL):
+            continue
+        if target.startswith("#"):
+            continue  # same-page anchor
+        target_path = target.split("#", 1)[0]
+        if not target_path:
+            continue
+        resolved = (path.parent / target_path).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(REPO)}: broken link -> {target}")
+
+
+def check_fences(path: pathlib.Path, problems: list[str]) -> None:
+    fences = sum(
+        1
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if line.lstrip().startswith("```")
+    )
+    if fences % 2:
+        problems.append(f"{path.relative_to(REPO)}: unbalanced code fences")
+
+
+def check_tables(path: pathlib.Path, problems: list[str]) -> None:
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if line.startswith("|") and "\t" in line:
+            problems.append(
+                f"{path.relative_to(REPO)}:{lineno}: tab character inside table"
+            )
+
+
+def run() -> list[str]:
+    problems: list[str] = []
+    for path in doc_files():
+        check_links(path, problems)
+        check_fences(path, problems)
+        check_tables(path, problems)
+    return problems
+
+
+def main() -> int:
+    problems = run()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs OK ({len(doc_files())} markdown files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
