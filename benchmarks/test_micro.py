@@ -50,6 +50,56 @@ class TestCryptoMicro:
         benchmark(lambda: rings[0].sign_notary_share(b"message"))
 
 
+class TestBatchVerifyMicro:
+    """Single vs RLC-batch verification (see ``python -m repro bench``)."""
+
+    BATCH = 32
+
+    def _schnorr_items(self):
+        from repro.crypto.api import verifiers_for
+
+        group = make_test_group()
+        rng = Random(1)
+        items = []
+        for i in range(self.BATCH):
+            pair = schnorr.keygen(group, rng)
+            message = b"micro/%d" % i
+            items.append((pair.public, message, schnorr.sign(group, pair.secret, message, rng)))
+        return group, verifiers_for(group), items
+
+    def test_schnorr_verify_single_oracle(self, benchmark):
+        from repro.crypto import fastpath
+
+        group, _, items = self._schnorr_items()
+        benchmark(lambda: [fastpath.verify_schnorr_single(group, *item) for item in items])
+
+    def test_schnorr_verify_batch(self, benchmark):
+        _, suite, items = self._schnorr_items()
+        assert all(suite.schnorr.verify_batch(items))  # warm the tables
+        benchmark(lambda: suite.schnorr.verify_batch(items))
+
+    def test_threshold_share_verify_batch(self, benchmark):
+        from repro.crypto.api import verifiers_for
+
+        group = make_test_group()
+        rng = Random(1)
+        pk, keys = threshold.keygen(group, threshold=17, n=self.BATCH, rng=rng)
+        items = [(pk, b"beacon", threshold.sign_share(pk, k, b"beacon", rng)) for k in keys]
+        suite = verifiers_for(group)
+        assert all(suite.threshold_share.verify_batch(items))
+        benchmark(lambda: suite.threshold_share.verify_batch(items))
+
+    def test_notary_share_batch_through_keyring(self, benchmark):
+        # The production path: batch + the keyring's verification-result
+        # cache, so steady-state repeats are nearly free.
+        rings = generate_keyrings(13, 4, backend="real", group_profile="test")
+        items = [
+            (b"message", rings[i].sign_notary_share(b"message")) for i in range(13)
+        ]
+        assert rings[0].verify_notary_share_batch(items).all_valid()
+        benchmark(lambda: rings[0].verify_notary_share_batch(items))
+
+
 class TestErasureMicro:
     def test_rs_encode_100kb(self, benchmark):
         data = os.urandom(100_000)

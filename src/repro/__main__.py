@@ -7,6 +7,8 @@ Commands:
 * ``experiments`` — the entire evaluation suite (``--quick``, ``--trace DIR``);
 * ``trace``       — run a traced simulation (or load a JSONL export) and
   print latency/message summaries — see ``docs/OBSERVABILITY.md``;
+* ``bench``       — crypto fast-path benchmark (single vs batch verification
+  throughput per primitive) — see ``docs/PERFORMANCE.md``;
 * ``versions``    — substrate self-check (group parameters, codec, sizes).
 """
 
@@ -130,6 +132,22 @@ def _cmd_report(args: argparse.Namespace) -> None:
     report.main(argv)
 
 
+def _cmd_bench(args: argparse.Namespace) -> None:
+    from repro.experiments import crypto_bench
+
+    argv = ["--profile", args.profile, "--batch-size", str(args.batch_size),
+            "--seed", str(args.seed)]
+    if args.json is not None:
+        argv += ["--json", args.json]
+    if args.quick:
+        argv.append("--quick")
+    if args.check:
+        argv.append("--check")
+    status = crypto_bench.main(argv)
+    if status:
+        sys.exit(status)
+
+
 def _cmd_versions(args: argparse.Namespace) -> None:
     import repro
     from repro.crypto.group import default_group, test_group
@@ -194,6 +212,22 @@ def main(argv: list[str] | None = None) -> None:
     report.add_argument("output", nargs="?", default="EXPERIMENTS-generated.md")
     report.add_argument("--quick", action="store_true")
     report.set_defaults(func=_cmd_report)
+
+    bench = sub.add_parser(
+        "bench", help="crypto fast-path benchmark (single vs batch verification)"
+    )
+    bench.add_argument("--json", metavar="PATH", default=None)
+    bench.add_argument(
+        "--profile", choices=["test", "default", "strong"], default="default"
+    )
+    bench.add_argument("--batch-size", type=int, default=32)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--quick", action="store_true", help="short timing windows")
+    bench.add_argument(
+        "--check", action="store_true",
+        help="fail unless batch >= single throughput for every primitive",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     versions = sub.add_parser("versions", help="substrate self-check")
     versions.set_defaults(func=_cmd_versions)

@@ -300,8 +300,9 @@ class HotStuffParty(BaselineParty):
         self._last_progress = self.sim.now
 
     def _on_vote(self, vote: Vote) -> None:
-        if not self.vote_is_valid(vote):
-            return
+        self.enqueue_vote(vote)
+
+    def _accept_vote(self, vote: Vote) -> None:
         self._ingest_vote(vote)
         if self.leader_of(vote.view + 1) != self.index:
             return

@@ -168,8 +168,9 @@ class PBFTParty(BaselineParty):
         self._evaluate(message.view, batch.height, batch.digest)
 
     def _on_vote(self, vote: Vote) -> None:
-        if not self.vote_is_valid(vote):
-            return
+        self.enqueue_vote(vote)
+
+    def _accept_vote(self, vote: Vote) -> None:
         key = (vote.view, vote.height, vote.digest)
         table = self._prepares if vote.phase == "prepare" else self._commits
         table.setdefault(key, set()).add(vote.voter)

@@ -156,8 +156,9 @@ class TendermintParty(BaselineParty):
         )
 
     def _on_vote(self, vote: Vote) -> None:
-        if not self.vote_is_valid(vote):
-            return
+        self.enqueue_vote(vote)
+
+    def _accept_vote(self, vote: Vote) -> None:
         key = (vote.height, vote.view, vote.digest)
         table = self._prevotes if vote.phase == "prevote" else self._precommits
         table.setdefault(key, set()).add(vote.voter)

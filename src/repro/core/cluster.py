@@ -32,6 +32,10 @@ class ClusterConfig:
     seed: int = 0
     crypto_backend: str = "fast"
     group_profile: str = "test"
+    #: Lazy RLC batch verification in the message pools (see
+    #: repro.core.pool).  Off = eager per-message verification; experiment
+    #: outputs are bit-identical either way.
+    crypto_batch: bool = True
     max_rounds: int | None = None
     gc_depth: int | None = None  # pool pruning depth; None keeps everything
     delay_model: DelayModel | None = None  # default FixedDelay(0.1)
@@ -173,6 +177,7 @@ def build_cluster(config: ClusterConfig, sim: Simulation | None = None) -> Clust
             payload_source=config.payload_source,
             **config.extra_party_kwargs,
         )
+        party.pool.batch_verify = config.crypto_batch
         parties.append(party)
         network.attach(party)
     for index, factory in config.corrupt.items():

@@ -2,9 +2,9 @@
 
 "Each party has a pool which holds the set of all messages received from all
 parties (including itself)" (Section 3.1).  The pool verifies each message's
-cryptography on arrival (invalid messages are dropped and counted), indexes
-artifacts by block and round, and incrementally maintains the paper's four
-block classifications:
+cryptography (invalid messages are dropped and counted), indexes artifacts
+by block and round, and incrementally maintains the paper's four block
+classifications:
 
 * **authentic** — a valid authenticator for the block is present;
 * **valid**     — authentic, and the parent is present and *notarized*;
@@ -15,6 +15,21 @@ block classifications:
 recursive through parents, the pool propagates state changes through a
 child index rather than re-scanning (a notarization arriving for a parent
 may make a whole subtree of buffered children valid).
+
+Share verification is *lazy and batched* by default (``batch_verify``):
+arriving notarization/finalization/beacon shares pass cheap structural
+checks eagerly (signer-index consistency, duplicate detection against
+stored ∪ pending) but their signature crypto is queued and verified in one
+RLC batch (:mod:`repro.crypto.api` / :mod:`repro.crypto.fastpath`) the next
+time a query needs the answer.  Every query that observes shares flushes
+the relevant queue first, so observable pool state is identical to the
+eager path.  The only divergences are forgery-only (and simulated
+adversaries never forge — see :mod:`repro.crypto.keyring`): ``add`` returns
+True for a queued share that a later flush drops, and re-adding a forged
+share before its flush counts as a duplicate rather than a second invalid.
+Set ``batch_verify=False`` (or ``ClusterConfig.crypto_batch=False``) to
+verify eagerly per message; experiment outputs are bit-identical either
+way.  Each flush emits a ``crypto.batch_verify`` trace event.
 """
 
 from __future__ import annotations
@@ -51,11 +66,18 @@ class PoolStats:
 class MessagePool:
     """Verified message store for one party."""
 
-    def __init__(self, keyring: Keyring) -> None:
+    def __init__(self, keyring: Keyring, batch_verify: bool = True) -> None:
         self._keys = keyring
         self.n = keyring.n
         self.t = keyring.t
+        self.batch_verify = batch_verify
         self.stats = PoolStats()
+
+        # Shares whose structural checks passed but whose signature crypto
+        # is deferred to the next flush (batch_verify mode only).
+        self._pending_notar: dict[bytes, dict[int, NotarizationShare]] = defaultdict(dict)
+        self._pending_final: dict[bytes, dict[int, FinalizationShare]] = defaultdict(dict)
+        self._pending_beacon: dict[int, dict[int, BeaconShare]] = defaultdict(dict)
 
         # Trace wiring (see repro.obs): the owning party binds its tracer
         # so verification drops and GC sweeps are attributable to a party.
@@ -155,18 +177,21 @@ class MessagePool:
         return True
 
     def _add_notar_share(self, share: NotarizationShare) -> bool:
-        existing = self._notar_shares[share.block_hash]
-        if share.signer in existing:
+        h = share.block_hash
+        if share.signer in self._notar_shares[h] or share.signer in self._pending_notar.get(h, ()):
             self.stats.duplicates += 1
             return False
-        signed = msg.notarization_message(share.round, share.proposer, share.block_hash)
-        if (
-            self._keys.share_index(share.share) != share.signer
-            or not self._keys.verify_notary_share(signed, share.share)
-        ):
+        if self._keys.share_index(share.share) != share.signer:
             self.stats.invalid_dropped += 1
             return False
-        existing[share.signer] = share
+        if self.batch_verify:
+            self._pending_notar[h][share.signer] = share
+            return True
+        signed = msg.notarization_message(share.round, share.proposer, share.block_hash)
+        if not self._keys.verify_notary_share(signed, share.share):
+            self.stats.invalid_dropped += 1
+            return False
+        self._notar_shares[h][share.signer] = share
         return True
 
     def _add_notarization(self, notarization: Notarization) -> bool:
@@ -184,18 +209,21 @@ class MessagePool:
         return True
 
     def _add_final_share(self, share: FinalizationShare) -> bool:
-        existing = self._final_shares[share.block_hash]
-        if share.signer in existing:
+        h = share.block_hash
+        if share.signer in self._final_shares[h] or share.signer in self._pending_final.get(h, ()):
             self.stats.duplicates += 1
             return False
-        signed = msg.finalization_message(share.round, share.proposer, share.block_hash)
-        if (
-            self._keys.share_index(share.share) != share.signer
-            or not self._keys.verify_final_share(signed, share.share)
-        ):
+        if self._keys.share_index(share.share) != share.signer:
             self.stats.invalid_dropped += 1
             return False
-        existing[share.signer] = share
+        if self.batch_verify:
+            self._pending_final[h][share.signer] = share
+            return True
+        signed = msg.finalization_message(share.round, share.proposer, share.block_hash)
+        if not self._keys.verify_final_share(signed, share.share):
+            self.stats.invalid_dropped += 1
+            return False
+        self._final_shares[h][share.signer] = share
         return True
 
     def _add_finalization(self, finalization: Finalization) -> bool:
@@ -216,7 +244,10 @@ class MessagePool:
         if share.round < 1:
             self.stats.invalid_dropped += 1
             return False
-        if share.signer in self._beacon_shares[share.round]:
+        if (
+            share.signer in self._beacon_shares[share.round]
+            or share.signer in self._pending_beacon.get(share.round, ())
+        ):
             self.stats.duplicates += 1
             return False
         previous = self.beacon_values.get(share.round - 1)
@@ -228,15 +259,118 @@ class MessagePool:
         return self._verify_and_store_beacon_share(share, previous)
 
     def _verify_and_store_beacon_share(self, share: BeaconShare, previous: bytes) -> bool:
+        if self._keys.share_index(share.share) != share.signer:
+            self.stats.invalid_dropped += 1
+            return False
+        if self.batch_verify:
+            self._pending_beacon[share.round][share.signer] = share
+            return True
         signed = msg.beacon_message(share.round, previous)
-        if (
-            self._keys.share_index(share.share) != share.signer
-            or not self._keys.verify_beacon_share(signed, share.share)
-        ):
+        if not self._keys.verify_beacon_share(signed, share.share):
             self.stats.invalid_dropped += 1
             return False
         self._beacon_shares[share.round][share.signer] = share
         return True
+
+
+    # -- deferred batch verification ---------------------------------------
+
+    def _emit_invalid(self, artifact: object, round: int | None) -> None:
+        if self._tracer.enabled:
+            self._tracer.emit(
+                time=self._trace_sim.now if self._trace_sim is not None else 0.0,
+                party=self._trace_party,
+                protocol=self._trace_protocol,
+                round=round,
+                kind="pool.invalid",
+                payload={"artifact": type(artifact).__name__},
+            )
+
+    def _emit_batch(self, scheme: str, stats) -> None:
+        if self._tracer.enabled:
+            self._tracer.emit(
+                time=self._trace_sim.now if self._trace_sim is not None else 0.0,
+                party=self._trace_party,
+                protocol=self._trace_protocol,
+                round=None,
+                kind="crypto.batch_verify",
+                payload={
+                    "scheme": scheme,
+                    "count": stats.count,
+                    "invalid": stats.invalid,
+                    "cache_hits": stats.cache_hits,
+                    "cache_misses": stats.cache_misses,
+                    "bisections": stats.bisections,
+                },
+            )
+
+    def _flush_notar(self) -> None:
+        if not self._pending_notar:
+            return
+        shares = [s for by_signer in self._pending_notar.values() for s in by_signer.values()]
+        self._pending_notar.clear()
+        if not shares:
+            return
+        items = [
+            (msg.notarization_message(s.round, s.proposer, s.block_hash), s.share)
+            for s in shares
+        ]
+        report = self._keys.verify_notary_share_batch(items)
+        for share, ok in zip(shares, report.results):
+            if ok:
+                self._notar_shares[share.block_hash][share.signer] = share
+            else:
+                self.stats.invalid_dropped += 1
+                self._emit_invalid(share, share.round)
+        self._emit_batch("notary", report.stats)
+
+    def _flush_final(self) -> None:
+        if not self._pending_final:
+            return
+        shares = [s for by_signer in self._pending_final.values() for s in by_signer.values()]
+        self._pending_final.clear()
+        if not shares:
+            return
+        items = [
+            (msg.finalization_message(s.round, s.proposer, s.block_hash), s.share)
+            for s in shares
+        ]
+        report = self._keys.verify_final_share_batch(items)
+        for share, ok in zip(shares, report.results):
+            if ok:
+                self._final_shares[share.block_hash][share.signer] = share
+            else:
+                self.stats.invalid_dropped += 1
+                self._emit_invalid(share, share.round)
+        self._emit_batch("final", report.stats)
+
+    def _flush_beacon(self) -> None:
+        if not self._pending_beacon:
+            return
+        shares = [s for by_signer in self._pending_beacon.values() for s in by_signer.values()]
+        self._pending_beacon.clear()
+        if not shares:
+            return
+        # Only shares whose previous beacon value was known are ever queued,
+        # so the message reconstruction below cannot miss.
+        items = [
+            (msg.beacon_message(s.round, self.beacon_values[s.round - 1]), s.share)
+            for s in shares
+        ]
+        report = self._keys.verify_beacon_share_batch(items)
+        for share, ok in zip(shares, report.results):
+            if ok:
+                self._beacon_shares[share.round][share.signer] = share
+            else:
+                self.stats.invalid_dropped += 1
+                self._emit_invalid(share, share.round)
+        self._emit_batch("beacon", report.stats)
+
+    def flush_pending(self) -> None:
+        """Run all deferred share verification now (a no-op when empty)."""
+        self._flush_notar()
+        self._flush_final()
+        self._flush_beacon()
 
     # -- state propagation ----------------------------------------------------
 
@@ -313,19 +447,24 @@ class MessagePool:
         return self._finalizations.get(h)
 
     def notar_share_count(self, h: bytes) -> int:
+        self._flush_notar()
         return len(self._notar_shares.get(h, ()))
 
     def notar_shares(self, h: bytes) -> list[NotarizationShare]:
+        self._flush_notar()
         return list(self._notar_shares.get(h, {}).values())
 
     def final_share_count(self, h: bytes) -> int:
+        self._flush_final()
         return len(self._final_shares.get(h, ()))
 
     def final_shares(self, h: bytes) -> list[FinalizationShare]:
+        self._flush_final()
         return list(self._final_shares.get(h, {}).values())
 
     def combinable_notarization(self, round: int, quorum: int) -> Block | None:
         """A valid, non-notarized round-k block with >= quorum notar shares."""
+        self._flush_notar()
         for h in self._blocks_by_round.get(round, ()):
             if h in self._valid and h not in self._notarized:
                 if len(self._notar_shares.get(h, ())) >= quorum:
@@ -334,6 +473,7 @@ class MessagePool:
 
     def combinable_finalization(self, round: int, quorum: int) -> Block | None:
         """A valid, non-finalized round-k block with >= quorum final shares."""
+        self._flush_final()
         for h in self._blocks_by_round.get(round, ()):
             if h in self._valid and h not in self._finalized:
                 if len(self._final_shares.get(h, ())) >= quorum:
@@ -342,6 +482,7 @@ class MessagePool:
 
     def rounds_with_final_activity(self) -> list[int]:
         """Rounds that have any finalization or finalization share."""
+        self._flush_final()
         rounds = {
             self.blocks[h].round
             for h in self._finalized
@@ -381,9 +522,11 @@ class MessagePool:
     # -- beacon ---------------------------------------------------------------
 
     def beacon_share_count(self, round: int) -> int:
+        self._flush_beacon()
         return len(self._beacon_shares.get(round, ()))
 
     def beacon_shares_for(self, round: int) -> list[BeaconShare]:
+        self._flush_beacon()
         return list(self._beacon_shares.get(round, {}).values())
 
     def set_beacon_value(self, round: int, value: bytes) -> None:
@@ -393,8 +536,15 @@ class MessagePool:
         self.beacon_values[round] = value
         pending = self._pending_beacon_shares.pop(round + 1, [])
         for share in pending:
-            if share.signer not in self._beacon_shares[share.round]:
+            if (
+                share.signer not in self._beacon_shares[share.round]
+                and share.signer not in self._pending_beacon.get(share.round, ())
+            ):
                 self._verify_and_store_beacon_share(share, value)
+        if pending:
+            # Verify the whole reveal in one batch right away so buffered
+            # garbage is counted at reveal time, as on the eager path.
+            self._flush_beacon()
 
     def beacon_value(self, round: int) -> bytes | None:
         return self.beacon_values.get(round)
@@ -447,6 +597,7 @@ class MessagePool:
         rounds (a new block's parent is at its own round - 1).  Returns the
         number of blocks removed.
         """
+        self.flush_pending()
         doomed = [
             h
             for round, hashes in self._blocks_by_round.items()
@@ -485,6 +636,7 @@ class MessagePool:
 
     def artifact_count(self) -> int:
         """Rough pool size (for memory-boundedness tests)."""
+        self.flush_pending()
         return (
             len(self.blocks)
             + len(self._authenticators)

@@ -7,6 +7,7 @@ flavour (approach iii), and the random-beacon machinery built on the latter.
 See DESIGN.md §2 for the BLS → DLEQ substitution rationale.
 """
 
+from . import api, fastpath
 from .dkg import DkgResult, run_dkg
 from .group import Group, default_group, generate_group, strong_group, test_group
 from .hashing import DIGEST_SIZE, hash_bytes, tagged_hash
@@ -14,6 +15,8 @@ from .keyring import FastKeyring, Keyring, RealKeyring, generate_keyrings
 from .resharing import ResharingError, reshare
 
 __all__ = [
+    "api",
+    "fastpath",
     "DkgResult",
     "run_dkg",
     "ResharingError",

@@ -9,25 +9,72 @@ These proofs are the verification mechanism for the *unique signature*
 scheme in :mod:`repro.crypto.unique`: a signature share H2(m)**sk_i is
 accompanied by a DLEQ proof against the share public key g**sk_i.  This is
 the pairing-free substitute for BLS share verification (DESIGN.md §2).
+
+Proofs are carried in *commitment form* (t1, t2, s) rather than the more
+compact challenge form (c, s): with the commitments explicit, verification
+is two group equations (g1**s == t1·A**c and g2**s == t2·B**c, with c
+recomputed by hashing) that are linear in the exponent — exactly the shape
+the random-linear-combination batch verifier in
+:mod:`repro.crypto.fastpath` needs.  Challenge-form proofs would force the
+verifier to reconstruct t1/t2 per proof, defeating batching.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from .group import Group
 
 
+class DleqStatement(NamedTuple):
+    """The statement (g1, A, g2, B): log_g1(A) == log_g2(B)."""
+
+    g1: int
+    a: int
+    g2: int
+    b: int
+
+
 @dataclass(frozen=True)
 class DleqProof:
-    """Non-interactive proof that log_g(A) == log_h(B)."""
+    """Non-interactive proof that log_g1(A) == log_g2(B).
 
-    challenge: int  # scalar c
-    response: int  # scalar s
+    ``commitment1``/``commitment2`` are the prover's nonce commitments
+    t1 = g1**k, t2 = g2**k; ``response`` is s = k + c·x with the
+    Fiat–Shamir challenge c = H(g1, A, g2, B, t1, t2).
+    """
+
+    commitment1: int  # t1, a group element
+    commitment2: int  # t2, a group element
+    response: int  # s, a scalar
 
     def to_bytes(self, group: Group) -> bytes:
         width = (group.q.bit_length() + 7) // 8
-        return self.challenge.to_bytes(width, "big") + self.response.to_bytes(width, "big")
+        return (
+            group.element_to_bytes(self.commitment1)
+            + group.element_to_bytes(self.commitment2)
+            + self.response.to_bytes(width, "big")
+        )
+
+
+def proof_from_bytes(group: Group, data: bytes) -> DleqProof:
+    """Decode a proof, admitting commitments via ``Group.decode_element``.
+
+    The subgroup check here upholds the exponent-reduction invariant of
+    :meth:`Group.power` for untrusted wire input (see DESIGN.md §2).
+    Raises :class:`ValueError` on malformed or out-of-subgroup input.
+    """
+    p_width = (group.p.bit_length() + 7) // 8
+    q_width = (group.q.bit_length() + 7) // 8
+    if len(data) != 2 * p_width + q_width:
+        raise ValueError(f"DLEQ proof encoding must be {2 * p_width + q_width} bytes")
+    t1 = group.element_from_bytes(data[:p_width])
+    t2 = group.element_from_bytes(data[p_width : 2 * p_width])
+    s = int.from_bytes(data[2 * p_width :], "big")
+    if not 0 <= s < group.q:
+        raise ValueError("DLEQ response out of scalar range")
+    return DleqProof(commitment1=t1, commitment2=t2, response=s)
 
 
 def _challenge(group: Group, g1: int, a: int, g2: int, b: int, t1: int, t2: int) -> int:
@@ -46,17 +93,16 @@ def prove(group: Group, secret: int, g1: int, g2: int, rng) -> DleqProof:
     t2 = group.power(g2, nonce)
     c = _challenge(group, g1, a, g2, b, t1, t2)
     s = (nonce + c * secret) % group.q
-    return DleqProof(challenge=c, response=s)
+    return DleqProof(commitment1=t1, commitment2=t2, response=s)
 
 
 def verify(group: Group, g1: int, a: int, g2: int, b: int, proof: DleqProof) -> bool:
-    """Verify a DLEQ proof for the statement (g1, A=g1^x, g2, B=g2^x)."""
-    for element in (g1, a, g2, b):
-        if not group.is_element(element):
-            return False
-    if not (0 <= proof.challenge < group.q and 0 <= proof.response < group.q):
-        return False
-    # Recompute commitments: t1 = g1^s · A^-c, t2 = g2^s · B^-c.
-    t1 = group.mul(group.power(g1, proof.response), group.power(a, -proof.challenge % group.q))
-    t2 = group.mul(group.power(g2, proof.response), group.power(b, -proof.challenge % group.q))
-    return _challenge(group, g1, a, g2, b, t1, t2) == proof.challenge
+    """Verify a DLEQ proof for the statement (g1, A=g1^x, g2, B=g2^x).
+
+    .. deprecated:: delegates to :class:`repro.crypto.api.DleqVerifier`;
+       new call sites should use :mod:`repro.crypto.api` directly (and get
+       ``verify_batch`` for free).
+    """
+    from . import api
+
+    return api.verifiers_for(group).dleq.verify(DleqStatement(g1, a, g2, b), b"", proof)

@@ -77,7 +77,17 @@ class Group:
         return (a * b) % self.p
 
     def power(self, base: int, exponent: int) -> int:
-        """base**exponent in the group (exponent taken mod q)."""
+        """base**exponent in the group (exponent taken mod q).
+
+        INVARIANT: reducing the exponent mod q is only correct when ``base``
+        lies in the order-q subgroup (base**q == 1).  For an arbitrary
+        element of Z_p* the order may be any divisor of p-1 = cofactor·q,
+        and ``base**(e mod q) != base**e`` in general.  Callers must only
+        pass subgroup members — either values they computed from subgroup
+        members themselves, or untrusted values admitted through
+        :meth:`decode_element` / :meth:`is_element` at deserialization.
+        Every verifier in this package enforces this before exponentiating.
+        """
         return pow(base, exponent % self.q, self.p)
 
     def power_g(self, exponent: int) -> int:
@@ -93,10 +103,35 @@ class Group:
             return False
         return pow(a, self.q, self.p) == 1
 
+    def decode_element(self, a: int) -> int:
+        """Admit an untrusted integer as a subgroup element, or raise.
+
+        This is the single choke point for group elements entering from
+        outside (deserialized messages, adversary-supplied artifacts): it
+        enforces the subgroup-membership invariant that :meth:`power`
+        relies on when reducing exponents mod q.  Returns the canonical
+        element on success; raises :class:`ValueError` otherwise.
+        """
+        if not self.is_element(a):
+            raise ValueError(f"{a} is not an element of the order-q subgroup")
+        return a
+
     def element_to_bytes(self, a: int) -> bytes:
         """Fixed-width big-endian encoding of a group element."""
         width = (self.p.bit_length() + 7) // 8
         return a.to_bytes(width, "big")
+
+    def element_from_bytes(self, data: bytes) -> int:
+        """Decode a fixed-width element encoding, with the subgroup check.
+
+        Inverse of :meth:`element_to_bytes`; message deserialization must
+        use this (not a bare ``int.from_bytes``) so that every element that
+        reaches :meth:`power` satisfies the subgroup invariant.
+        """
+        width = (self.p.bit_length() + 7) // 8
+        if len(data) != width:
+            raise ValueError(f"element encoding must be {width} bytes, got {len(data)}")
+        return self.decode_element(int.from_bytes(data, "big"))
 
     def hash_to_group(self, tag: str, *parts: bytes) -> int:
         """Hash arbitrary data to a group element (the ``H2`` of DESIGN.md).

@@ -32,9 +32,14 @@ from dataclasses import dataclass
 from random import Random
 from typing import Protocol, Sequence
 
-from . import multisig, schnorr, threshold
+from . import api, multisig, schnorr, threshold
+from .fastpath import _BoundedCache
 from .group import Group, group_for_profile
 from .hashing import tagged_hash
+
+#: Batch items are (message, share) pairs; auth batches are
+#: (signer, message, sig) triples.  Both return :class:`api.BatchResult`.
+_MISS = object()
 
 
 class Keyring(Protocol):
@@ -47,21 +52,33 @@ class Keyring(Protocol):
     # S_auth ---------------------------------------------------------------
     def sign_auth(self, message: bytes) -> object: ...
     def verify_auth(self, signer: int, message: bytes, sig: object) -> bool: ...
+    def verify_auth_batch(
+        self, items: Sequence[tuple[int, bytes, object]]
+    ) -> api.BatchResult: ...
 
     # S_notary / S_final ----------------------------------------------------
     def sign_notary_share(self, message: bytes) -> object: ...
     def verify_notary_share(self, message: bytes, share: object) -> bool: ...
+    def verify_notary_share_batch(
+        self, items: Sequence[tuple[bytes, object]]
+    ) -> api.BatchResult: ...
     def combine_notary(self, message: bytes, shares: Sequence[object]) -> object: ...
     def verify_notary(self, message: bytes, agg: object) -> bool: ...
 
     def sign_final_share(self, message: bytes) -> object: ...
     def verify_final_share(self, message: bytes, share: object) -> bool: ...
+    def verify_final_share_batch(
+        self, items: Sequence[tuple[bytes, object]]
+    ) -> api.BatchResult: ...
     def combine_final(self, message: bytes, shares: Sequence[object]) -> object: ...
     def verify_final(self, message: bytes, agg: object) -> bool: ...
 
     # S_beacon ---------------------------------------------------------------
     def sign_beacon_share(self, message: bytes) -> object: ...
     def verify_beacon_share(self, message: bytes, share: object) -> bool: ...
+    def verify_beacon_share_batch(
+        self, items: Sequence[tuple[bytes, object]]
+    ) -> api.BatchResult: ...
     def combine_beacon(self, message: bytes, shares: Sequence[object]) -> object: ...
     def verify_beacon(self, message: bytes, sig: object) -> bool: ...
     def beacon_value(self, sig: object) -> bytes: ...
@@ -86,7 +103,18 @@ class _SharedPublic:
 
 
 class RealKeyring:
-    """Discrete-log instantiation of the :class:`Keyring` interface."""
+    """Discrete-log instantiation of the :class:`Keyring` interface.
+
+    All signing and verification goes through :mod:`repro.crypto.api`.
+    Verification results are memoized in a bounded LRU keyed by
+    ``(kind, signer, message, sig)`` — the message slot doubles as the
+    message-hash of the ISSUE wording because protocol messages are already
+    fixed-width digests.  Signatures are frozen dataclasses and therefore
+    hashable; verification is deterministic, so both verdicts are cacheable.
+    """
+
+    #: Bound on the per-party verification-result cache.
+    RESULT_CACHE_SIZE = 8192
 
     def __init__(
         self,
@@ -109,55 +137,204 @@ class RealKeyring:
         self._final_key = final_key
         self._beacon_key = beacon_key
         self._rng = rng
+        suite = api.verifiers_for(shared.group)
+        self._suite = suite
+        self._auth_signer = api.SchnorrSigner(shared.group, auth_secret, suite.ctx)
+        self._notary_signer = api.MultisigShareSigner(shared.notary_pk, notary_key, suite.ctx)
+        self._final_signer = api.MultisigShareSigner(shared.final_pk, final_key, suite.ctx)
+        self._beacon_signer = api.ThresholdShareSigner(shared.beacon_pk, beacon_key, suite.ctx)
+        self._results = _BoundedCache(self.RESULT_CACHE_SIZE)
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- result cache ------------------------------------------------------
+
+    def _cached(self, kind: str, signer: int, message: bytes, sig, check) -> bool:
+        key = (kind, signer, message, sig)
+        verdict = self._results.get(key, _MISS)
+        if verdict is not _MISS:
+            self._results.touch(key)
+            self.cache_hits += 1
+            return verdict
+        self.cache_misses += 1
+        verdict = check()
+        self._results.put(key, verdict)
+        return verdict
+
+    def _batch_cached(self, kind: str, verifier, pk, items) -> api.BatchResult:
+        """Batch verify (message, share) pairs through the result cache."""
+        results: list = [None] * len(items)
+        hits = misses = 0
+        keys: list = []
+        todo_idx: list[int] = []
+        todo: list[tuple] = []
+        for i, (message, share) in enumerate(items):
+            key = (kind, share.index, message, share)
+            keys.append(key)
+            verdict = self._results.get(key, _MISS)
+            if verdict is not _MISS:
+                self._results.touch(key)
+                hits += 1
+                results[i] = verdict
+            else:
+                misses += 1
+                todo_idx.append(i)
+                todo.append((pk, message, share))
+        bisections = 0
+        if len(todo) == 1:
+            # A singleton batch gains nothing from the RLC combination;
+            # the single-item verifier is strictly cheaper.
+            i = todo_idx[0]
+            ok = verifier.verify(*todo[0])
+            results[i] = ok
+            self._results.put(keys[i], ok)
+        elif todo:
+            report = verifier.verify_batch_report(todo)
+            bisections = report.stats.bisections
+            for i, ok in zip(todo_idx, report.results):
+                results[i] = ok
+                self._results.put(keys[i], ok)
+        self.cache_hits += hits
+        self.cache_misses += misses
+        stats = api.BatchStats(
+            count=len(items),
+            invalid=results.count(False),
+            cache_hits=hits,
+            cache_misses=misses,
+            bisections=bisections,
+        )
+        return api.BatchResult(results=results, stats=stats)
 
     # S_auth
     def sign_auth(self, message: bytes):
-        return schnorr.sign(self._shared.group, self._auth_secret, message, self._rng)
+        return self._auth_signer.sign(message, self._rng)
 
     def verify_auth(self, signer: int, message: bytes, sig) -> bool:
         if not 1 <= signer <= self.n:
             return False
         public = self._shared.auth_publics[signer - 1]
-        return schnorr.verify(self._shared.group, public, message, sig)
+        return self._cached(
+            "auth", signer, message, sig,
+            lambda: self._suite.schnorr.verify(public, message, sig),
+        )
+
+    def verify_auth_batch(self, items: Sequence[tuple[int, bytes, object]]) -> api.BatchResult:
+        results: list = [None] * len(items)
+        hits = misses = 0
+        keys: list = []
+        todo_idx: list[int] = []
+        todo: list[tuple] = []
+        for i, (signer, message, sig) in enumerate(items):
+            if not 1 <= signer <= self.n:
+                results[i] = False
+                keys.append(None)
+                continue
+            key = ("auth", signer, message, sig)
+            keys.append(key)
+            verdict = self._results.get(key, _MISS)
+            if verdict is not _MISS:
+                self._results.touch(key)
+                hits += 1
+                results[i] = verdict
+            else:
+                misses += 1
+                todo_idx.append(i)
+                todo.append((self._shared.auth_publics[signer - 1], message, sig))
+        bisections = 0
+        if len(todo) == 1:
+            i = todo_idx[0]
+            ok = self._suite.schnorr.verify(*todo[0])
+            results[i] = ok
+            self._results.put(keys[i], ok)
+            todo = []
+        if todo:
+            report = self._suite.schnorr.verify_batch_report(todo)
+            bisections = report.stats.bisections
+            for i, ok in zip(todo_idx, report.results):
+                results[i] = ok
+                self._results.put(keys[i], ok)
+        self.cache_hits += hits
+        self.cache_misses += misses
+        stats = api.BatchStats(
+            count=len(items),
+            invalid=results.count(False),
+            cache_hits=hits,
+            cache_misses=misses,
+            bisections=bisections,
+        )
+        return api.BatchResult(results=results, stats=stats)
 
     # S_notary
     def sign_notary_share(self, message: bytes):
-        return multisig.sign_share(self._shared.notary_pk, self._notary_key, message, self._rng)
+        return self._notary_signer.sign(message, self._rng)
 
     def verify_notary_share(self, message: bytes, share) -> bool:
-        return multisig.verify_share(self._shared.notary_pk, message, share)
+        return self._cached(
+            "notary-share", share.index, message, share,
+            lambda: self._suite.multisig_share.verify(self._shared.notary_pk, message, share),
+        )
+
+    def verify_notary_share_batch(self, items: Sequence[tuple[bytes, object]]) -> api.BatchResult:
+        return self._batch_cached(
+            "notary-share", self._suite.multisig_share, self._shared.notary_pk, list(items)
+        )
 
     def combine_notary(self, message: bytes, shares):
         return multisig.combine(self._shared.notary_pk, message, list(shares))
 
     def verify_notary(self, message: bytes, agg) -> bool:
-        return multisig.verify(self._shared.notary_pk, message, agg)
+        return self._cached(
+            "notary-agg", 0, message, agg,
+            lambda: self._suite.multisig.verify(self._shared.notary_pk, message, agg),
+        )
 
     # S_final
     def sign_final_share(self, message: bytes):
-        return multisig.sign_share(self._shared.final_pk, self._final_key, message, self._rng)
+        return self._final_signer.sign(message, self._rng)
 
     def verify_final_share(self, message: bytes, share) -> bool:
-        return multisig.verify_share(self._shared.final_pk, message, share)
+        return self._cached(
+            "final-share", share.index, message, share,
+            lambda: self._suite.multisig_share.verify(self._shared.final_pk, message, share),
+        )
+
+    def verify_final_share_batch(self, items: Sequence[tuple[bytes, object]]) -> api.BatchResult:
+        return self._batch_cached(
+            "final-share", self._suite.multisig_share, self._shared.final_pk, list(items)
+        )
 
     def combine_final(self, message: bytes, shares):
         return multisig.combine(self._shared.final_pk, message, list(shares))
 
     def verify_final(self, message: bytes, agg) -> bool:
-        return multisig.verify(self._shared.final_pk, message, agg)
+        return self._cached(
+            "final-agg", 0, message, agg,
+            lambda: self._suite.multisig.verify(self._shared.final_pk, message, agg),
+        )
 
     # S_beacon
     def sign_beacon_share(self, message: bytes):
-        return threshold.sign_share(self._shared.beacon_pk, self._beacon_key, message, self._rng)
+        return self._beacon_signer.sign(message, self._rng)
 
     def verify_beacon_share(self, message: bytes, share) -> bool:
-        return threshold.verify_share(self._shared.beacon_pk, message, share)
+        return self._cached(
+            "beacon-share", share.index, message, share,
+            lambda: self._suite.threshold_share.verify(self._shared.beacon_pk, message, share),
+        )
+
+    def verify_beacon_share_batch(self, items: Sequence[tuple[bytes, object]]) -> api.BatchResult:
+        return self._batch_cached(
+            "beacon-share", self._suite.threshold_share, self._shared.beacon_pk, list(items)
+        )
 
     def combine_beacon(self, message: bytes, shares):
         return threshold.combine(self._shared.beacon_pk, message, list(shares))
 
     def verify_beacon(self, message: bytes, sig) -> bool:
-        return threshold.verify(self._shared.beacon_pk, message, sig)
+        return self._cached(
+            "beacon-agg", 0, message, sig,
+            lambda: self._suite.threshold.verify(self._shared.beacon_pk, message, sig),
+        )
 
     def beacon_value(self, sig) -> bytes:
         return tagged_hash(
@@ -228,6 +405,13 @@ class FastKeyring:
         digest = tagged_hash("ICC/fast/agg", self._master, scheme.encode(), message)
         return FastAggregate(scheme=scheme, digest=digest, signatories=tuple(indices))
 
+    def _loop_batch(self, results: list[bool]) -> api.BatchResult:
+        """The hash backend has no RLC structure; batches are plain loops."""
+        return api.BatchResult(
+            results=results,
+            stats=api.BatchStats(count=len(results), invalid=results.count(False)),
+        )
+
     def _verify_agg(self, scheme: str, h: int, message: bytes, agg: FastAggregate) -> bool:
         if not isinstance(agg, FastAggregate) or agg.scheme != scheme:
             return False
@@ -247,12 +431,18 @@ class FastKeyring:
             and self._verify_share("auth", message, sig)
         )
 
+    def verify_auth_batch(self, items: Sequence[tuple[int, bytes, object]]) -> api.BatchResult:
+        return self._loop_batch([self.verify_auth(s, m, sig) for s, m, sig in items])
+
     # S_notary
     def sign_notary_share(self, message: bytes):
         return self._share("notary", self.index, message)
 
     def verify_notary_share(self, message: bytes, share) -> bool:
         return self._verify_share("notary", message, share)
+
+    def verify_notary_share_batch(self, items: Sequence[tuple[bytes, object]]) -> api.BatchResult:
+        return self._loop_batch([self.verify_notary_share(m, s) for m, s in items])
 
     def combine_notary(self, message: bytes, shares):
         return self._combine("notary", self.n - self.t, message, shares)
@@ -267,6 +457,9 @@ class FastKeyring:
     def verify_final_share(self, message: bytes, share) -> bool:
         return self._verify_share("final", message, share)
 
+    def verify_final_share_batch(self, items: Sequence[tuple[bytes, object]]) -> api.BatchResult:
+        return self._loop_batch([self.verify_final_share(m, s) for m, s in items])
+
     def combine_final(self, message: bytes, shares):
         return self._combine("final", self.n - self.t, message, shares)
 
@@ -279,6 +472,9 @@ class FastKeyring:
 
     def verify_beacon_share(self, message: bytes, share) -> bool:
         return self._verify_share("beacon", message, share)
+
+    def verify_beacon_share_batch(self, items: Sequence[tuple[bytes, object]]) -> api.BatchResult:
+        return self._loop_batch([self.verify_beacon_share(m, s) for m, s in items])
 
     def combine_beacon(self, message: bytes, shares):
         return self._combine("beacon", self.t + 1, message, shares)

@@ -78,9 +78,16 @@ def sign_share(pk: MultisigPublicKey, key: MultisigKeyShare, message: bytes, rng
 
 
 def verify_share(pk: MultisigPublicKey, message: bytes, share: MultisigShare) -> bool:
-    if not 1 <= share.index <= pk.n:
-        return False
-    return schnorr.verify(pk.group, pk.public(share.index), message, share.signature)
+    """Check one share against its party's public key.
+
+    .. deprecated:: delegates to
+       :class:`repro.crypto.api.MultisigShareVerifier`; new call sites
+       should use :mod:`repro.crypto.api` directly (and get
+       ``verify_batch`` for free).
+    """
+    from . import api
+
+    return api.verifiers_for(pk.group).multisig_share.verify(pk, message, share)
 
 
 def combine(pk: MultisigPublicKey, message: bytes, shares: list[MultisigShare]) -> Multisignature:
@@ -99,8 +106,11 @@ def combine(pk: MultisigPublicKey, message: bytes, shares: list[MultisigShare]) 
 
 
 def verify(pk: MultisigPublicKey, message: bytes, sig: Multisignature) -> bool:
-    """An aggregate is valid iff it carries h distinct valid shares."""
-    indices = sig.signatories
-    if len(set(indices)) < pk.threshold:
-        return False
-    return all(verify_share(pk, message, s) for s in sig.shares)
+    """An aggregate is valid iff it carries h distinct valid shares.
+
+    .. deprecated:: delegates to :class:`repro.crypto.api.MultisigVerifier`;
+       new call sites should use :mod:`repro.crypto.api` directly.
+    """
+    from . import api
+
+    return api.verifiers_for(pk.group).multisig.verify(pk, message, sig)

@@ -62,13 +62,31 @@ def sign(group: Group, secret: int, message: bytes, rng) -> SchnorrSignature:
     return SchnorrSignature(commitment=commitment, response=response)
 
 
+def signature_from_bytes(group: Group, data: bytes) -> SchnorrSignature:
+    """Decode a signature, admitting R via ``Group.element_from_bytes``.
+
+    The subgroup check upholds the exponent-reduction invariant of
+    :meth:`Group.power` for untrusted wire input.  Raises
+    :class:`ValueError` on malformed or out-of-subgroup input.
+    """
+    p_width = (group.p.bit_length() + 7) // 8
+    q_width = (group.q.bit_length() + 7) // 8
+    if len(data) != p_width + q_width:
+        raise ValueError(f"Schnorr signature encoding must be {p_width + q_width} bytes")
+    commitment = group.element_from_bytes(data[:p_width])
+    response = int.from_bytes(data[p_width:], "big")
+    if not 0 <= response < group.q:
+        raise ValueError("Schnorr response out of scalar range")
+    return SchnorrSignature(commitment=commitment, response=response)
+
+
 def verify(group: Group, public: int, message: bytes, signature: SchnorrSignature) -> bool:
-    """Check g**s == R · pk**c."""
-    if not group.is_element(public) or not group.is_element(signature.commitment):
-        return False
-    if not 0 <= signature.response < group.q:
-        return False
-    c = _challenge(group, public, signature.commitment, message)
-    lhs = group.power_g(signature.response)
-    rhs = group.mul(signature.commitment, group.power(public, c))
-    return lhs == rhs
+    """Check g**s == R · pk**c.
+
+    .. deprecated:: delegates to :class:`repro.crypto.api.SchnorrVerifier`;
+       new call sites should use :mod:`repro.crypto.api` directly (and get
+       ``verify_batch`` for free).
+    """
+    from . import api
+
+    return api.verifiers_for(group).schnorr.verify(public, message, signature)

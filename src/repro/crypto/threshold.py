@@ -105,12 +105,16 @@ def sign_share(pk: ThresholdPublicKey, key: ThresholdKeyShare, message: bytes, r
 
 
 def verify_share(pk: ThresholdPublicKey, message: bytes, share: SignatureShare) -> bool:
-    """Check a share against the share public key via its DLEQ proof."""
-    if not 1 <= share.index <= pk.n:
-        return False
-    group = pk.group
-    h2 = message_point(group, message)
-    return dleq.verify(group, group.g, pk.share_public(share.index), h2, share.value, share.proof)
+    """Check a share against the share public key via its DLEQ proof.
+
+    .. deprecated:: delegates to
+       :class:`repro.crypto.api.ThresholdShareVerifier`; new call sites
+       should use :mod:`repro.crypto.api` directly (and get
+       ``verify_batch`` for free).
+    """
+    from . import api
+
+    return api.verifiers_for(pk.group).threshold_share.verify(pk, message, share)
 
 
 def combine(pk: ThresholdPublicKey, message: bytes, shares: list[SignatureShare]) -> ThresholdSignature:
@@ -140,19 +144,14 @@ def verify(pk: ThresholdPublicKey, message: bytes, sig: ThresholdSignature) -> b
     their Lagrange recombination must equal ``sig.value``.  This is the
     pairing-free verification path; it accepts exactly the signatures a BLS
     pairing check would accept (the unique value H2(m)**master_sk).
+
+    .. deprecated:: delegates to
+       :class:`repro.crypto.api.ThresholdSignatureVerifier`; new call
+       sites should use :mod:`repro.crypto.api` directly.
     """
-    chosen = _dedupe_by_index(list(sig.shares))
-    if len(chosen) < pk.threshold:
-        return False
-    chosen = chosen[: pk.threshold]
-    if not all(verify_share(pk, message, s) for s in chosen):
-        return False
-    group = pk.group
-    lams = shamir.lagrange_at_zero(group.scalar_field, [s.index for s in chosen])
-    value = 1
-    for lam, share in zip(lams, chosen):
-        value = group.mul(value, group.power(share.value, lam))
-    return value == sig.value
+    from . import api
+
+    return api.verifiers_for(pk.group).threshold.verify(pk, message, sig)
 
 
 def signature_value_bytes(pk: ThresholdPublicKey, sig: ThresholdSignature) -> bytes:

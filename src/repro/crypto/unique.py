@@ -39,5 +39,11 @@ def sign(group: Group, secret: int, message: bytes, rng) -> UniqueSignature:
 
 
 def verify(group: Group, public: int, message: bytes, sig: UniqueSignature) -> bool:
-    h2 = message_point(group, message)
-    return dleq.verify(group, group.g, public, h2, sig.value, sig.proof)
+    """Check σ == H2(m)**sk via the carried DLEQ proof.
+
+    .. deprecated:: delegates to :class:`repro.crypto.api.UniqueVerifier`;
+       new call sites should use :mod:`repro.crypto.api` directly.
+    """
+    from . import api
+
+    return api.verifiers_for(group).unique.verify(public, message, sig)

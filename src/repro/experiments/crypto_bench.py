@@ -1,0 +1,214 @@
+"""Crypto fast-path benchmark: single vs RLC-batched verification.
+
+Measures per-primitive verification throughput (ops/sec) two ways:
+
+* **single** — the per-item reference path: the pure oracles
+  :func:`repro.crypto.fastpath.verify_schnorr_single` /
+  :func:`verify_dleq_single`, which use plain ``pow`` and no caches.
+  This is the correctness oracle the batch path falls back to, i.e. what
+  verification cost before the fast path existed.
+* **batch** — :meth:`repro.crypto.api.Verifier.verify_batch` through the
+  unified verifier API: one random-linear-combination check per batch,
+  fixed-base tables for ``g`` and long-lived keys, memoized hash-to-group.
+
+``python -m repro bench --json BENCH_crypto.json`` writes the JSON
+baseline checked into the repository root; CI runs the same command with
+``--profile test --quick --check`` as a smoke test that batching never
+loses to the single path.  See ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from random import Random
+
+from ..crypto import fastpath, multisig, threshold, unique
+from ..crypto.api import verifiers_for
+from ..crypto.dleq import DleqStatement
+from ..crypto.group import Group, group_for_profile
+from ..crypto.unique import message_point
+
+#: (primitive name, builder) — builders return (single_fn, batch_fn, count).
+PRIMITIVES = ("schnorr", "dleq", "threshold-share", "multisig-share")
+
+
+def _throughput(fn, items_per_call: int, min_seconds: float) -> float:
+    """Call ``fn`` until ``min_seconds`` elapse; return items/second."""
+    fn()  # warm-up: populate fixed-base tables / H2 memo outside the clock
+    calls = 0
+    start = time.perf_counter()
+    deadline = start + min_seconds
+    while True:
+        fn()
+        calls += 1
+        now = time.perf_counter()
+        if now >= deadline:
+            return calls * items_per_call / (now - start)
+
+
+def _schnorr_case(group: Group, suite, rng: Random, size: int):
+    from ..crypto import schnorr
+
+    items = []
+    for i in range(size):
+        pair = schnorr.keygen(group, rng)
+        message = b"bench/schnorr/%d" % i
+        items.append((pair.public, message, schnorr.sign(group, pair.secret, message, rng)))
+
+    def single() -> None:
+        for pk, message, sig in items:
+            assert fastpath.verify_schnorr_single(group, pk, message, sig)
+
+    def batch() -> None:
+        assert all(suite.schnorr.verify_batch(items))
+
+    return single, batch
+
+
+def _dleq_case(group: Group, suite, rng: Random, size: int):
+    items = []
+    for i in range(size):
+        secret = group.random_scalar(rng)
+        public = group.power_g(secret)
+        message = b"bench/dleq/%d" % i
+        sig = unique.sign(group, secret, message, rng)
+        statement = DleqStatement(group.g, public, message_point(group, message), sig.value)
+        items.append((statement, b"", sig.proof))
+
+    def single() -> None:
+        for statement, _, proof in items:
+            assert fastpath.verify_dleq_single(group, statement, proof)
+
+    def batch() -> None:
+        assert all(suite.dleq.verify_batch(items))
+
+    return single, batch
+
+
+def _threshold_case(group: Group, suite, rng: Random, size: int):
+    # The beacon pattern: every party signs the *same* message, so the
+    # batch path also benefits from the memoized hash-to-group point.
+    pk, keys = threshold.keygen(group, size // 2 + 1, size, rng)
+    message = b"bench/threshold"
+    items = [(pk, message, threshold.sign_share(pk, key, message, rng)) for key in keys]
+
+    def single() -> None:
+        for _, msg, share in items:
+            statement = DleqStatement(
+                group.g, pk.share_public(share.index), message_point(group, msg), share.value
+            )
+            assert fastpath.verify_dleq_single(group, statement, share.proof)
+
+    def batch() -> None:
+        assert all(suite.threshold_share.verify_batch(items))
+
+    return single, batch
+
+
+def _multisig_case(group: Group, suite, rng: Random, size: int):
+    pk, keys = multisig.keygen(group, size, size, rng)
+    message = b"bench/multisig"
+    items = [(pk, message, multisig.sign_share(pk, key, message, rng)) for key in keys]
+
+    def single() -> None:
+        for _, msg, share in items:
+            assert fastpath.verify_schnorr_single(
+                group, pk.public(share.index), msg, share.signature
+            )
+
+    def batch() -> None:
+        assert all(suite.multisig_share.verify_batch(items))
+
+    return single, batch
+
+
+_CASES = {
+    "schnorr": _schnorr_case,
+    "dleq": _dleq_case,
+    "threshold-share": _threshold_case,
+    "multisig-share": _multisig_case,
+}
+
+
+def run_bench(
+    profile: str = "default",
+    batch_size: int = 32,
+    min_seconds: float = 0.5,
+    seed: int = 0,
+) -> dict:
+    """Run all primitive benchmarks; returns the JSON-ready result dict."""
+    group = group_for_profile(profile)
+    suite = verifiers_for(group)
+    rng = Random(seed)
+    results = []
+    for name in PRIMITIVES:
+        single, batch = _CASES[name](group, suite, rng, batch_size)
+        single_ops = _throughput(single, batch_size, min_seconds)
+        batch_ops = _throughput(batch, batch_size, min_seconds)
+        results.append(
+            {
+                "primitive": name,
+                "single_ops_per_sec": round(single_ops, 1),
+                "batch_ops_per_sec": round(batch_ops, 1),
+                "speedup": round(batch_ops / single_ops, 2),
+            }
+        )
+    return {
+        "benchmark": "crypto fast path: single (per-item oracle) vs batch (RLC) verification",
+        "profile": profile,
+        "group_bits": {"p": group.p.bit_length(), "q": group.q.bit_length()},
+        "batch_size": batch_size,
+        "seed": seed,
+        "results": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="python -m repro bench")
+    parser.add_argument("--json", metavar="PATH", default=None, help="write results as JSON")
+    parser.add_argument("--profile", choices=["test", "default", "strong"], default="default")
+    parser.add_argument("--batch-size", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--quick", action="store_true", help="short timing windows (CI smoke)"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless batch throughput >= single for every primitive",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_bench(
+        profile=args.profile,
+        batch_size=args.batch_size,
+        min_seconds=0.05 if args.quick else 0.5,
+        seed=args.seed,
+    )
+    print(f"profile={report['profile']} (|p|={report['group_bits']['p']} bits) "
+          f"batch_size={report['batch_size']}")
+    print(f"{'primitive':<16} {'single ops/s':>13} {'batch ops/s':>13} {'speedup':>8}")
+    failed = []
+    for row in report["results"]:
+        print(
+            f"{row['primitive']:<16} {row['single_ops_per_sec']:>13.1f} "
+            f"{row['batch_ops_per_sec']:>13.1f} {row['speedup']:>7.2f}x"
+        )
+        if row["batch_ops_per_sec"] < row["single_ops_per_sec"]:
+            failed.append(row["primitive"])
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if args.check and failed:
+        print(f"FAIL: batch slower than single for {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

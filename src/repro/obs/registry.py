@@ -94,6 +94,13 @@ register(
     "Garbage collection discarded all artifacts below `before_round`.",
     ("before_round", "removed"),
 )
+register(
+    "crypto.batch_verify", "repro.core.pool",
+    "One deferred share-verification batch was flushed through the "
+    "keyring's batch API (scheme = notary/final/beacon from the message "
+    "pool, vote from baseline replicas).",
+    ("scheme", "count", "invalid", "cache_hits", "cache_misses", "bisections"),
+)
 
 # -- random beacon ------------------------------------------------------------
 

@@ -1,0 +1,102 @@
+"""Tests for the baselines' same-instant batched vote verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    BaselineClusterConfig,
+    HotStuffParty,
+    PBFTParty,
+    TendermintParty,
+    build_baseline_cluster,
+)
+from repro.crypto.keyring import generate_keyrings
+from repro.obs import Tracer
+from repro.sim.delays import FixedDelay
+
+
+def _run(party_class, crypto_batch, seed=2, tracer=None, duration=20.0):
+    config = BaselineClusterConfig(
+        party_class=party_class,
+        n=4, t=1, seed=seed,
+        delay_model=FixedDelay(0.05),
+        crypto_batch=crypto_batch,
+        tracer=tracer,
+    )
+    cluster = build_baseline_cluster(config)
+    cluster.start()
+    cluster.run_for(duration)
+    cluster.check_safety()
+    return cluster
+
+
+class TestBatchedVotesParity:
+    @pytest.mark.parametrize("party_class", [PBFTParty, HotStuffParty, TendermintParty])
+    def test_commits_identical_with_and_without_batching(self, party_class):
+        on = _run(party_class, crypto_batch=True)
+        off = _run(party_class, crypto_batch=False)
+        assert on.party(1).committed_hashes == off.party(1).committed_hashes
+        assert on.party(1).committed_hashes  # progress was actually made
+        assert on.min_committed_height() == off.min_committed_height()
+
+    def test_batches_actually_form(self):
+        # Under FixedDelay all n broadcast votes arrive at the same instant,
+        # so flushes should see multi-vote batches, traced per flush.
+        tracer = Tracer()
+        _run(PBFTParty, crypto_batch=True, tracer=tracer, duration=10.0)
+        batch_events = [e for e in tracer.events() if e.kind == "crypto.batch_verify"]
+        assert batch_events
+        assert all(e.payload["scheme"] == "vote" for e in batch_events)
+        assert max(e.payload["count"] for e in batch_events) > 1
+
+
+class TestVoteHelpers:
+    def _party(self, crypto_batch=True):
+        config = BaselineClusterConfig(
+            party_class=PBFTParty, n=4, t=1, seed=5,
+            delay_model=FixedDelay(0.05), crypto_batch=crypto_batch,
+        )
+        return build_baseline_cluster(config)
+
+    def test_votes_are_valid_matches_single(self):
+        cluster = self._party()
+        parties = cluster.parties
+        votes = [
+            parties[i].make_vote("pbft", "prepare", 1, 1, b"\x07" * 32)
+            for i in range(4)
+        ]
+        # Forge one: vote claims voter 1 but carries voter 2's share.
+        forged = votes[0].__class__(
+            protocol="pbft", phase="prepare", view=1, height=1,
+            digest=b"\x07" * 32, voter=1, share=votes[1].share,
+        )
+        mixed = votes + [forged]
+        checker = parties[3]
+        assert checker.votes_are_valid(mixed) == [
+            checker.vote_is_valid(v) for v in mixed
+        ]
+        assert checker.votes_are_valid(mixed) == [True] * 4 + [False]
+
+    def test_forged_vote_never_accepted(self):
+        cluster = self._party()
+        party = cluster.parties[0]
+        rings = generate_keyrings(4, 1, seed=99, backend="fast")  # wrong keys
+        forged = party.make_vote("pbft", "prepare", 1, 1, b"\x01" * 32).__class__(
+            protocol="pbft", phase="prepare", view=1, height=1,
+            digest=b"\x01" * 32, voter=2, share=rings[1].sign_notary_share(b"junk"),
+        )
+        accepted = []
+        party._accept_vote = lambda vote: accepted.append(vote)
+        party.enqueue_vote(forged)
+        party.sim.run(until=party.sim.now + 0.001)  # run the flush event
+        assert accepted == []
+
+    def test_eager_mode_accepts_immediately(self):
+        cluster = self._party(crypto_batch=False)
+        parties = cluster.parties
+        vote = parties[1].make_vote("pbft", "prepare", 1, 1, b"\x02" * 32)
+        accepted = []
+        parties[0]._accept_vote = lambda v: accepted.append(v)
+        parties[0].enqueue_vote(vote)
+        assert accepted == [vote]  # no deferral when batching is off

@@ -1,0 +1,204 @@
+"""Tests for the pool's lazy batched share verification.
+
+The contract (see ``repro.core.pool``'s docstring): with ``batch_verify``
+on, crypto checks are deferred to the next query point, results are
+bit-identical to eager verification, forged shares are dropped at flush,
+and each flush emits a ``crypto.batch_verify`` trace event.
+"""
+
+from __future__ import annotations
+
+from repro.core import messages as msg
+from repro.core.messages import BeaconShare, GENESIS_BEACON, NotarizationShare
+from repro.core.pool import MessagePool
+from repro.crypto.keyring import generate_keyrings
+from repro.obs import Tracer
+from repro.sim.simulator import Simulation
+
+from .test_pool import Forge
+
+
+def _pools(seed=0, backend="fast"):
+    rings = generate_keyrings(4, 1, seed=seed, backend=backend, group_profile="test")
+    return (
+        rings,
+        MessagePool(rings[0], batch_verify=True),
+        MessagePool(rings[0], batch_verify=False),
+    )
+
+
+class TestLazyEagerParity:
+    def test_notar_shares_identical(self):
+        forge = Forge()
+        lazy = MessagePool(forge.rings[0], batch_verify=True)
+        eager = MessagePool(forge.rings[0], batch_verify=False)
+        block = forge.block()
+        for pool in (lazy, eager):
+            assert pool.add(block)
+        for signer in (1, 2, 3):
+            share = forge.notar_share(block, signer)
+            assert lazy.add(share)
+            assert eager.add(share)
+        # The query flushes the lazy pool; state must now match eagerly.
+        assert lazy.notar_share_count(block.hash) == eager.notar_share_count(block.hash) == 3
+        assert [s.signer for s in lazy.notar_shares(block.hash)] == [
+            s.signer for s in eager.notar_shares(block.hash)
+        ]
+        assert lazy.artifact_count() == eager.artifact_count()
+
+    def test_final_and_beacon_parity(self):
+        forge = Forge()
+        lazy = MessagePool(forge.rings[0], batch_verify=True)
+        eager = MessagePool(forge.rings[0], batch_verify=False)
+        block = forge.block()
+        signed = msg.beacon_message(1, GENESIS_BEACON)
+        for pool in (lazy, eager):
+            pool.add(block)
+            for signer in (1, 2):
+                pool.add(forge.final_share(block, signer))
+                pool.add(
+                    BeaconShare(
+                        round=1,
+                        signer=signer,
+                        share=forge.rings[signer - 1].sign_beacon_share(signed),
+                    )
+                )
+        assert lazy.final_share_count(block.hash) == eager.final_share_count(block.hash) == 2
+        assert lazy.beacon_share_count(1) == eager.beacon_share_count(1) == 2
+
+    def test_duplicate_of_pending_share_rejected(self):
+        forge = Forge()
+        pool = MessagePool(forge.rings[0], batch_verify=True)
+        share = forge.notar_share(forge.block(), 2)
+        assert pool.add(share)          # queued, not yet verified
+        assert not pool.add(share)      # duplicate detected against the queue
+        assert pool.stats.duplicates == 1
+
+
+class TestForgedSharesAtFlush:
+    def _forged_notar_share(self, forge, block, signer):
+        # Signed over a different message than the share's fields claim.
+        other = forge.block(round=2)
+        signed = msg.notarization_message(other.round, other.proposer, other.hash)
+        return NotarizationShare(
+            round=block.round,
+            proposer=block.proposer,
+            block_hash=block.hash,
+            signer=signer,
+            share=forge.rings[signer - 1].sign_notary_share(signed),
+        )
+
+    def test_forged_share_dropped_at_flush(self):
+        forge = Forge()
+        pool = MessagePool(forge.rings[0], batch_verify=True)
+        block = forge.block()
+        pool.add(block)
+        assert pool.add(forge.notar_share(block, 1))
+        assert pool.add(self._forged_notar_share(forge, block, 2))  # queued!
+        assert pool.add(forge.notar_share(block, 3))
+        dropped_before = pool.stats.invalid_dropped
+        assert pool.notar_share_count(block.hash) == 2  # flush happened here
+        assert pool.stats.invalid_dropped == dropped_before + 1
+        assert {s.signer for s in pool.notar_shares(block.hash)} == {1, 3}
+
+    def test_flush_emits_trace_events(self):
+        forge = Forge()
+        pool = MessagePool(forge.rings[0], batch_verify=True)
+        tracer = Tracer()
+        pool.bind_tracing(tracer, Simulation(), party=1, protocol="test")
+        block = forge.block()
+        pool.add(block)
+        pool.add(forge.notar_share(block, 1))
+        pool.add(self._forged_notar_share(forge, block, 2))
+        pool.flush_pending()
+        kinds = [e.kind for e in tracer.events()]
+        assert "crypto.batch_verify" in kinds
+        assert "pool.invalid" in kinds
+        batch_event = next(e for e in tracer.events() if e.kind == "crypto.batch_verify")
+        assert batch_event.payload["scheme"] == "notary"
+        assert batch_event.payload["count"] == 2
+        assert batch_event.payload["invalid"] == 1
+
+    def test_real_backend_forged_share(self):
+        rings = generate_keyrings(4, 1, seed=7, backend="real", group_profile="test")
+        pool = MessagePool(rings[0], batch_verify=True)
+        signed = msg.notarization_message(1, 1, b"\x11" * 32)
+        good = NotarizationShare(
+            round=1, proposer=1, block_hash=b"\x11" * 32, signer=2,
+            share=rings[1].sign_notary_share(signed),
+        )
+        forged = NotarizationShare(
+            round=1, proposer=1, block_hash=b"\x11" * 32, signer=3,
+            share=rings[2].sign_notary_share(b"some-other-message"),
+        )
+        assert pool.add(good)
+        assert pool.add(forged)  # passes structural checks, queued
+        assert pool.notar_share_count(b"\x11" * 32) == 1
+        assert {s.signer for s in pool.notar_shares(b"\x11" * 32)} == {2}
+
+
+class TestBeaconReveal:
+    def test_buffered_shares_verified_at_reveal(self):
+        forge = Forge()
+        pool = MessagePool(forge.rings[0], batch_verify=True)
+        value1 = b"\x22" * 32
+        signed2 = msg.beacon_message(2, value1)
+        # Round-2 shares arrive before the round-1 beacon value is known.
+        for signer in (1, 2):
+            assert pool.add(
+                BeaconShare(
+                    round=2, signer=signer,
+                    share=forge.rings[signer - 1].sign_beacon_share(signed2),
+                )
+            )
+        assert pool.stats.buffered_beacon_shares == 2
+        pool.set_beacon_value(1, value1)
+        assert pool.beacon_share_count(2) == 2
+
+    def test_garbage_buffered_share_dropped_at_reveal(self):
+        forge = Forge()
+        pool = MessagePool(forge.rings[0], batch_verify=True)
+        value1 = b"\x33" * 32
+        garbage = BeaconShare(
+            round=2, signer=1,
+            share=forge.rings[0].sign_beacon_share(b"not-the-beacon-message"),
+        )
+        assert pool.add(garbage)  # buffered: previous value unknown
+        dropped_before = pool.stats.invalid_dropped
+        pool.set_beacon_value(1, value1)
+        assert pool.stats.invalid_dropped == dropped_before + 1
+        assert pool.beacon_share_count(2) == 0
+
+
+class TestClusterToggleParity:
+    """Experiment outputs are bit-identical with the fast path on or off."""
+
+    def _run(self, crypto_batch, backend):
+        from repro.core import ClusterConfig, build_cluster
+        from repro.sim.delays import FixedDelay
+
+        config = ClusterConfig(
+            n=4, t=1, delta_bound=0.3, epsilon=0.01,
+            delay_model=FixedDelay(0.05), max_rounds=6, seed=3,
+            crypto_backend=backend, crypto_batch=crypto_batch,
+        )
+        cluster = build_cluster(config)
+        cluster.start()
+        cluster.run_until_all_committed_round(5, timeout=120)
+        cluster.check_safety()
+        return cluster
+
+    def test_fast_backend_bit_identical(self):
+        on = self._run(crypto_batch=True, backend="fast")
+        off = self._run(crypto_batch=False, backend="fast")
+        assert on.party(1).committed_hashes == off.party(1).committed_hashes
+        assert on.min_committed_round() == off.min_committed_round()
+        assert on.sim.now == off.sim.now
+
+    def test_real_backend_bit_identical(self):
+        on = self._run(crypto_batch=True, backend="real")
+        off = self._run(crypto_batch=False, backend="real")
+        assert on.party(1).committed_hashes == off.party(1).committed_hashes
+        assert on.party(1).committed_hashes  # the run actually committed
+        assert on.sim.now == off.sim.now
+

@@ -1,0 +1,238 @@
+"""Tests for the crypto fast path: batch verification and precomputation.
+
+The per-item oracles (``verify_schnorr_single`` / ``verify_dleq_single``)
+are the correctness reference; everything here pins the batch path and the
+exponentiation shortcuts to them / to plain ``pow``.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import dleq, fastpath, schnorr, unique
+from repro.crypto.dleq import DleqStatement
+from repro.crypto.unique import message_point
+
+
+# ---------------------------------------------------------------------------
+# exponentiation primitives
+# ---------------------------------------------------------------------------
+
+
+class TestFixedBaseTable:
+    def test_matches_pow(self, group, rng):
+        table = fastpath.FixedBaseTable(group.p, group.g, group.q.bit_length())
+        for _ in range(20):
+            e = rng.randrange(group.q)
+            assert table.power(e) == pow(group.g, e, group.p)
+
+    def test_zero_and_max(self, group):
+        bits = group.q.bit_length()
+        table = fastpath.FixedBaseTable(group.p, group.g, bits)
+        assert table.power(0) == 1
+        top = (1 << bits) - 1
+        assert table.power(top) == pow(group.g, top, group.p)
+
+    def test_exponent_out_of_range(self, group):
+        table = fastpath.FixedBaseTable(group.p, group.g, 16)
+        with pytest.raises(ValueError):
+            table.power(1 << 16)
+
+
+class TestMultiExp:
+    def test_straus_matches_pow(self, group, rng):
+        pairs = [
+            (group.power_g(rng.randrange(1, group.q)), rng.getrandbits(64))
+            for _ in range(8)
+        ]
+        expected = 1
+        for base, e in pairs:
+            expected = expected * pow(base, e, group.p) % group.p
+        assert fastpath.multi_exp_small(group.p, pairs) == expected
+
+    def test_empty_product(self, group):
+        assert fastpath.multi_exp_small(group.p, []) == 1
+
+    def test_shamir_matches_pow(self, group, rng):
+        for _ in range(10):
+            b1 = group.power_g(rng.randrange(1, group.q))
+            b2 = group.power_g(rng.randrange(1, group.q))
+            e1, e2 = rng.randrange(group.q), rng.randrange(group.q)
+            expected = pow(b1, e1, group.p) * pow(b2, e2, group.p) % group.p
+            assert fastpath.simultaneous_power(group.p, b1, e1, b2, e2) == expected
+
+
+# ---------------------------------------------------------------------------
+# batch verification vs the per-item oracle
+# ---------------------------------------------------------------------------
+
+
+def _schnorr_items(group, rng, count):
+    items = []
+    for i in range(count):
+        pair = schnorr.keygen(group, rng)
+        message = b"fp/%d" % i
+        items.append([pair.public, message, schnorr.sign(group, pair.secret, message, rng)])
+    return items
+
+
+def _dleq_items(group, rng, count, message=b"fp/dleq"):
+    items = []
+    for i in range(count):
+        secret = group.random_scalar(rng)
+        sig = unique.sign(group, secret, message, rng)
+        statement = DleqStatement(
+            group.g, group.power_g(secret), message_point(group, message), sig.value
+        )
+        items.append([statement, sig.proof])
+    return items
+
+
+class TestBatchSchnorr:
+    def test_all_valid(self, group, rng):
+        ctx = fastpath.FastPath(group)
+        items = [tuple(i) for i in _schnorr_items(group, rng, 8)]
+        assert fastpath.batch_verify_schnorr(ctx, items) == [True] * 8
+
+    def test_forged_item_pinpointed(self, group, rng):
+        ctx = fastpath.FastPath(group)
+        items = _schnorr_items(group, rng, 8)
+        pk, message, sig = items[3]
+        items[3] = [pk, message, schnorr.SchnorrSignature(sig.commitment, (sig.response + 1) % group.q)]
+        before = ctx.stats.bisections
+        results = fastpath.batch_verify_schnorr(ctx, [tuple(i) for i in items])
+        assert results == [True, True, True, False, True, True, True, True]
+        assert ctx.stats.bisections > before  # the fallback actually ran
+
+    def test_two_forgeries_both_isolated(self, group, rng):
+        ctx = fastpath.FastPath(group)
+        items = _schnorr_items(group, rng, 6)
+        for bad in (0, 5):
+            pk, message, sig = items[bad]
+            items[bad] = [pk, b"other-message", sig]
+        results = fastpath.batch_verify_schnorr(ctx, [tuple(i) for i in items])
+        assert results == [False, True, True, True, True, False]
+
+    def test_matches_oracle_exactly(self, group, rng):
+        ctx = fastpath.FastPath(group)
+        items = _schnorr_items(group, rng, 5)
+        pk, message, sig = items[2]
+        items[2] = [pk, message, schnorr.SchnorrSignature(1, sig.response)]
+        items = [tuple(i) for i in items]
+        oracle = [fastpath.verify_schnorr_single(group, *item) for item in items]
+        assert fastpath.batch_verify_schnorr(ctx, items) == oracle
+
+
+class TestBatchDleq:
+    def test_all_valid(self, group, rng):
+        ctx = fastpath.FastPath(group)
+        items = [tuple(i) for i in _dleq_items(group, rng, 6)]
+        assert fastpath.batch_verify_dleq(ctx, items) == [True] * 6
+
+    def test_forged_item_pinpointed(self, group, rng):
+        ctx = fastpath.FastPath(group)
+        items = _dleq_items(group, rng, 6)
+        statement, proof = items[4]
+        items[4] = [
+            statement,
+            dleq.DleqProof(proof.commitment1, proof.commitment2, (proof.response + 1) % group.q),
+        ]
+        results = fastpath.batch_verify_dleq(ctx, [tuple(i) for i in items])
+        assert results == [True, True, True, True, False, True]
+
+    def test_non_member_element_rejected(self, group, rng):
+        # An element outside the prime-order subgroup must never enter the
+        # linear combination (RLC soundness); it is rejected item-wise and
+        # the rest of the batch is unaffected.
+        ctx = fastpath.FastPath(group)
+        non_member = group.p - 1  # order 2, not in the subgroup (q odd)
+        assert not ctx.is_member(non_member)
+        items = _dleq_items(group, rng, 4)
+        statement, proof = items[1]
+        items[1] = [DleqStatement(statement.g1, non_member, statement.g2, statement.b), proof]
+        results = fastpath.batch_verify_dleq(ctx, [tuple(i) for i in items])
+        assert results == [True, False, True, True]
+
+    def test_matches_oracle_exactly(self, group, rng):
+        ctx = fastpath.FastPath(group)
+        items = _dleq_items(group, rng, 5)
+        statement, proof = items[0]
+        items[0] = [statement, dleq.DleqProof(proof.commitment2, proof.commitment1, proof.response)]
+        items = [tuple(i) for i in items]
+        oracle = [fastpath.verify_dleq_single(group, s, pr) for s, pr in items]
+        assert fastpath.batch_verify_dleq(ctx, items) == oracle
+
+
+class TestBatchPropertyEquivalence:
+    """Batch accepts exactly the items the per-item oracle accepts."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(forged=st.sets(st.integers(min_value=0, max_value=6), max_size=7), seed=st.integers(0, 2**16))
+    def test_schnorr_batch_iff_oracle(self, group, forged, seed):
+        rng = Random(seed)
+        ctx = fastpath.FastPath(group)
+        items = _schnorr_items(group, rng, 7)
+        for i in forged:
+            pk, message, sig = items[i]
+            items[i] = [pk, message, schnorr.SchnorrSignature(sig.commitment, (sig.response + 1 + i) % group.q)]
+        items = [tuple(i) for i in items]
+        oracle = [fastpath.verify_schnorr_single(group, *item) for item in items]
+        assert fastpath.batch_verify_schnorr(ctx, items) == oracle
+        assert oracle == [i not in forged for i in range(7)]
+
+    @settings(max_examples=10, deadline=None)
+    @given(forged=st.sets(st.integers(min_value=0, max_value=4), max_size=5), seed=st.integers(0, 2**16))
+    def test_dleq_batch_iff_oracle(self, group, forged, seed):
+        rng = Random(seed)
+        ctx = fastpath.FastPath(group)
+        items = _dleq_items(group, rng, 5)
+        for i in forged:
+            statement, proof = items[i]
+            items[i] = [
+                statement,
+                dleq.DleqProof(proof.commitment1, proof.commitment2, (proof.response + 1 + i) % group.q),
+            ]
+        items = [tuple(i) for i in items]
+        oracle = [fastpath.verify_dleq_single(group, s, p) for s, p in items]
+        assert fastpath.batch_verify_dleq(ctx, items) == oracle
+
+
+# ---------------------------------------------------------------------------
+# context caches
+# ---------------------------------------------------------------------------
+
+
+class TestFastPathContext:
+    def test_message_point_memoized(self, group):
+        ctx = fastpath.FastPath(group)
+        before = ctx.stats.h2_misses
+        a = ctx.message_point(b"memo")
+        b = ctx.message_point(b"memo")
+        assert a == b == message_point(group, b"memo")
+        assert ctx.stats.h2_misses == before + 1
+        assert ctx.stats.h2_hits >= 1
+
+    def test_membership_cache(self, group, rng):
+        ctx = fastpath.FastPath(group)
+        element = group.power_g(rng.randrange(1, group.q))
+        misses = ctx.stats.member_misses
+        assert ctx.is_member(element)
+        assert ctx.is_member(element)
+        assert ctx.stats.member_misses == misses + 1
+        assert ctx.stats.member_hits >= 1
+
+    def test_power_helpers_match_pow(self, group, rng):
+        ctx = fastpath.FastPath(group)
+        e = rng.randrange(group.q)
+        assert ctx.power_g(e) == pow(group.g, e, group.p)
+        base = group.power_g(rng.randrange(1, group.q))
+        assert ctx.power_base(base, e) == pow(base, e, group.p)
+        # second call goes through the cached per-base table
+        assert ctx.power_base(base, e) == pow(base, e, group.p)
+
+    def test_for_group_shares_context(self, group):
+        assert fastpath.for_group(group) is fastpath.for_group(group)

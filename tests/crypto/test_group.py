@@ -90,3 +90,28 @@ class TestOperations:
         width = (group.p.bit_length() + 7) // 8
         assert len(group.element_to_bytes(1)) == width
         assert len(group.element_to_bytes(group.p - 1)) == width
+
+    def test_decode_element_accepts_members(self, group, rng):
+        element = group.power_g(group.random_scalar(rng))
+        assert group.decode_element(element) == element
+
+    def test_decode_element_rejects_non_members(self, group):
+        # 0 and p are out of range; p-1 has order 2 (q is odd).
+        for bad in (0, group.p, group.p + 1):
+            with pytest.raises(ValueError):
+                group.decode_element(bad)
+        if not group.is_element(group.p - 1):
+            with pytest.raises(ValueError):
+                group.decode_element(group.p - 1)
+
+    def test_element_round_trip_through_bytes(self, group, rng):
+        element = group.power_g(group.random_scalar(rng))
+        data = group.element_to_bytes(element)
+        assert group.element_from_bytes(data) == element
+
+    def test_element_from_bytes_enforces_subgroup(self, group):
+        width = (group.p.bit_length() + 7) // 8
+        with pytest.raises(ValueError):
+            group.element_from_bytes((group.p - 1).to_bytes(width, "big"))
+        with pytest.raises(ValueError):
+            group.element_from_bytes(b"\x00" * (width + 1))  # wrong width

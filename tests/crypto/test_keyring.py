@@ -121,3 +121,77 @@ class TestFactory:
         a = generate_keyrings(4, 1, seed=1)
         b = generate_keyrings(4, 1, seed=2)
         assert a[0].sign_auth(b"x") != b[0].sign_auth(b"x")
+
+
+class TestBatchVerification:
+    """Both backends expose the batch API; results match the single path."""
+
+    def test_auth_batch(self, rings):
+        items = [(i, b"m%d" % i, rings[i - 1].sign_auth(b"m%d" % i)) for i in (1, 2, 3)]
+        items.append((2, b"m1", items[0][2]))  # signer-1 sig claimed by 2
+        report = rings[0].verify_auth_batch(items)
+        assert report.results == [True, True, True, False]
+        assert report.stats.count == 4 and report.stats.invalid == 1
+
+    def test_notary_share_batch_matches_single(self, rings):
+        items = [(b"msg", rings[i].sign_notary_share(b"msg")) for i in range(4)]
+        items.append((b"other", items[0][1]))  # valid share, wrong message
+        report = rings[0].verify_notary_share_batch(items)
+        assert report.results == [
+            rings[0].verify_notary_share(m, s) for m, s in items
+        ]
+        assert report.results == [True] * 4 + [False]
+
+    def test_final_share_batch(self, rings):
+        items = [(b"msg", rings[i].sign_final_share(b"msg")) for i in range(3)]
+        assert rings[0].verify_final_share_batch(items).all_valid()
+        # final and notary are independent scheme instances
+        cross = [(b"msg", rings[0].sign_notary_share(b"msg"))]
+        assert rings[0].verify_final_share_batch(cross).results == [False]
+
+    def test_beacon_share_batch(self, rings):
+        items = [(b"beacon", rings[i].sign_beacon_share(b"beacon")) for i in range(4)]
+        bad = (b"beacon", rings[0].sign_beacon_share(b"not-beacon"))
+        report = rings[0].verify_beacon_share_batch(items + [bad])
+        assert report.results == [True] * 4 + [False]
+
+    def test_empty_batch(self, rings):
+        report = rings[0].verify_notary_share_batch([])
+        assert report.results == [] and report.all_valid()
+
+    def test_singleton_batch(self, rings):
+        share = rings[1].sign_notary_share(b"solo")
+        assert rings[0].verify_notary_share_batch([(b"solo", share)]).results == [True]
+
+
+class TestResultCache:
+    def test_repeat_verification_hits_cache(self):
+        rings = generate_keyrings(4, 1, seed=5, backend="real", group_profile="test")
+        ring = rings[0]
+        share = rings[1].sign_notary_share(b"cached")
+        assert ring.verify_notary_share(b"cached", share)
+        misses = ring.cache_misses
+        hits = ring.cache_hits
+        assert ring.verify_notary_share(b"cached", share)
+        assert ring.cache_hits == hits + 1
+        assert ring.cache_misses == misses
+
+    def test_batch_uses_cache(self):
+        rings = generate_keyrings(4, 1, seed=5, backend="real", group_profile="test")
+        ring = rings[0]
+        items = [(b"msg", rings[i].sign_notary_share(b"msg")) for i in range(4)]
+        first = ring.verify_notary_share_batch(items)
+        assert first.all_valid()
+        second = ring.verify_notary_share_batch(items)
+        assert second.all_valid()
+        assert second.stats.cache_hits == 4
+        assert second.stats.cache_misses == 0
+
+    def test_negative_verdicts_cached_too(self):
+        rings = generate_keyrings(4, 1, seed=5, backend="real", group_profile="test")
+        ring = rings[0]
+        share = rings[1].sign_notary_share(b"one-message")
+        assert not ring.verify_notary_share(b"another-message", share)
+        hits = ring.cache_hits
+        assert not ring.verify_notary_share(b"another-message", share)
+        assert ring.cache_hits == hits + 1

@@ -86,9 +86,15 @@ class TestDleq:
         x = group.random_scalar(rng)
         g2 = group.hash_to_group("base2", b"x")
         proof = dleq.prove(group, x, group.g, g2, rng)
-        bad = dleq.DleqProof((proof.challenge + 1) % group.q, proof.response)
+        bad = dleq.DleqProof(
+            proof.commitment1, proof.commitment2, (proof.response + 1) % group.q
+        )
         assert not dleq.verify(
             group, group.g, group.power_g(x), g2, group.power(g2, x), bad
+        )
+        swapped = dleq.DleqProof(proof.commitment2, proof.commitment1, proof.response)
+        assert not dleq.verify(
+            group, group.g, group.power_g(x), g2, group.power(g2, x), swapped
         )
 
     def test_non_element_inputs_rejected(self, group, rng):

@@ -46,6 +46,27 @@ class TestCli:
         # Same event stream -> identical summary block.
         assert exported.split("\n\n")[1] == reloaded.split("\n\n")[1]
 
+    def test_bench_quick_check(self, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "bench.json")
+        main([
+            "bench", "--profile", "test", "--batch-size", "8",
+            "--quick", "--check", "--json", path,
+        ])
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "schnorr" in out
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert report["profile"] == "test"
+        assert report["batch_size"] == 8
+        primitives = {row["primitive"] for row in report["results"]}
+        assert primitives == {"schnorr", "dleq", "threshold-share", "multisig-share"}
+        # --check passed, so batching never lost to the single path
+        for row in report["results"]:
+            assert row["batch_ops_per_sec"] >= row["single_ops_per_sec"]
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
