@@ -4,11 +4,14 @@ Commands:
 
 * ``demo``        — the quickstart scenario (a few ICC0 rounds + stats);
 * ``table1``      — reproduce Table 1 (``--full`` for 300 s windows);
-* ``experiments`` — the entire evaluation suite (``--quick``, ``--trace DIR``);
+* ``experiments`` — the entire evaluation suite (``--quick``, ``--trace DIR``,
+  ``--jobs N`` for the parallel runner);
 * ``trace``       — run a traced simulation (or load a JSONL export) and
   print latency/message summaries — see ``docs/OBSERVABILITY.md``;
 * ``bench``       — crypto fast-path benchmark (single vs batch verification
   throughput per primitive) — see ``docs/PERFORMANCE.md``;
+* ``bench-runner`` — experiment-suite wall-clock benchmark (serial vs
+  parallel runner, setup-cache hit rates) — see ``docs/PERFORMANCE.md``;
 * ``versions``    — substrate self-check (group parameters, codec, sizes).
 """
 
@@ -61,6 +64,8 @@ def _cmd_experiments(args: argparse.Namespace) -> None:
     argv = ["--quick"] if args.quick else []
     if args.trace is not None:
         argv += ["--trace", args.trace]
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
     run_all.main(argv)
 
 
@@ -148,6 +153,21 @@ def _cmd_bench(args: argparse.Namespace) -> None:
         sys.exit(status)
 
 
+def _cmd_bench_runner(args: argparse.Namespace) -> None:
+    from repro.experiments import runner_bench
+
+    argv = ["--jobs", str(args.jobs)] if args.jobs is not None else []
+    if args.json is not None:
+        argv += ["--json", args.json]
+    if args.quick:
+        argv.append("--quick")
+    if args.check:
+        argv.append("--check")
+    status = runner_bench.main(argv)
+    if status:
+        sys.exit(status)
+
+
 def _cmd_versions(args: argparse.Namespace) -> None:
     import repro
     from repro.crypto.group import default_group, test_group
@@ -186,6 +206,10 @@ def main(argv: list[str] | None = None) -> None:
     experiments.add_argument(
         "--trace", metavar="DIR", default=None,
         help="export one trace JSONL per ICC run into DIR",
+    )
+    experiments.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the simulation suite (default: all cores)",
     )
     experiments.set_defaults(func=_cmd_experiments)
 
@@ -228,6 +252,24 @@ def main(argv: list[str] | None = None) -> None:
         help="fail unless batch >= single throughput for every primitive",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    bench_runner = sub.add_parser(
+        "bench-runner",
+        help="experiment-suite benchmark (serial vs parallel runner)",
+    )
+    bench_runner.add_argument("--json", metavar="PATH", default=None)
+    bench_runner.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel job count to benchmark (default: all cores)",
+    )
+    bench_runner.add_argument(
+        "--quick", action="store_true", help="trimmed suite (seconds, not minutes)"
+    )
+    bench_runner.add_argument(
+        "--check", action="store_true",
+        help="fail if the parallel runner is slower than serial beyond noise",
+    )
+    bench_runner.set_defaults(func=_cmd_bench_runner)
 
     versions = sub.add_parser("versions", help="substrate self-check")
     versions.set_defaults(func=_cmd_versions)

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from random import Random
 from typing import Protocol, Sequence
 
-from . import api, multisig, schnorr, threshold
+from . import api, multisig, schnorr, setup_cache, threshold
 from .fastpath import _BoundedCache
 from .group import Group, group_for_profile
 from .hashing import tagged_hash
@@ -494,6 +494,66 @@ class FastKeyring:
 # ---------------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class _RealSetup:
+    """The deterministic derivation products of one real-backend setup.
+
+    Everything here is a function of ``(group_profile, setup, n, t,
+    seed)`` alone — no RNG state, no per-party mutable caches — which is
+    what makes it safe to share between cluster builds and to persist in
+    :mod:`repro.crypto.setup_cache`.  Keyrings built from a cached bundle
+    are bit-identical to keyrings built from a fresh derivation.
+    """
+
+    group: Group
+    auth_secrets: tuple[int, ...]
+    auth_publics: tuple[int, ...]
+    notary_pk: multisig.MultisigPublicKey
+    notary_keys: tuple[multisig.MultisigKeyShare, ...]
+    final_pk: multisig.MultisigPublicKey
+    final_keys: tuple[multisig.MultisigKeyShare, ...]
+    beacon_pk: threshold.ThresholdPublicKey
+    beacon_keys: tuple[threshold.ThresholdKeyShare, ...]
+
+
+def _derive_real_setup(
+    group_profile: str, setup: str, n: int, t: int, seed: int
+) -> _RealSetup:
+    """Run the actual keygen/dealer/DKG derivation (the cache's miss path)."""
+    group = group_for_profile(group_profile)
+    rng = Random(seed)
+    auth_pairs = [schnorr.keygen(group, rng) for _ in range(n)]
+    notary_pk, notary_keys = multisig.keygen(group, n - t, n, rng)
+    final_pk, final_keys = multisig.keygen(group, n - t, n, rng)
+    if setup == "dealer":
+        beacon_pk, beacon_keys = threshold.keygen(group, t + 1, n, rng)
+    elif setup == "dkg":
+        from .dkg import run_dkg
+
+        result = run_dkg(group, t + 1, n, rng)
+        beacon_pk, beacon_keys = result.public, result.key_shares
+    else:
+        raise ValueError(f"unknown key setup {setup!r}")
+    return _RealSetup(
+        group=group,
+        auth_secrets=tuple(p.secret for p in auth_pairs),
+        auth_publics=tuple(p.public for p in auth_pairs),
+        notary_pk=notary_pk,
+        notary_keys=tuple(notary_keys),
+        final_pk=final_pk,
+        final_keys=tuple(final_keys),
+        beacon_pk=beacon_pk,
+        beacon_keys=tuple(beacon_keys),
+    )
+
+
+def real_setup_cache_key(
+    group_profile: str, setup: str, n: int, t: int, seed: int
+) -> tuple:
+    """The setup-cache key for one real-backend derivation bundle."""
+    return ("keyring-real-setup", group_profile, setup, n, t, seed)
+
+
 def generate_keyrings(
     n: int,
     t: int,
@@ -513,6 +573,15 @@ def generate_keyrings(
     protocol"): ``"dealer"`` uses the trusted dealer of
     :mod:`repro.crypto.threshold`; ``"dkg"`` runs the Pedersen/Feldman DKG
     of :mod:`repro.crypto.dkg` (real backend only).
+
+    Real-backend derivations are served through
+    :mod:`repro.crypto.setup_cache`: the bundle of key material is a pure
+    function of ``(group_profile, setup, n, t, seed)``, so repeated
+    builds of the same cluster shape reuse one keygen/dealer/DKG
+    computation (set ``REPRO_NO_SETUP_CACHE=1`` to derive every time).
+    Per-keyring RNG state is *not* cached — every call returns fresh
+    :class:`RealKeyring` objects with fresh signing RNGs, so cached and
+    uncached paths behave identically.
     """
     if n < 1:
         raise ValueError("need at least one party")
@@ -524,27 +593,19 @@ def generate_keyrings(
         return [FastKeyring(index=i, n=n, t=t, master=master) for i in range(1, n + 1)]
     if backend != "real":
         raise ValueError(f"unknown crypto backend {backend!r}")
-
-    group = group_for_profile(group_profile)
-    rng = Random(seed)
-    auth_pairs = [schnorr.keygen(group, rng) for _ in range(n)]
-    notary_pk, notary_keys = multisig.keygen(group, n - t, n, rng)
-    final_pk, final_keys = multisig.keygen(group, n - t, n, rng)
-    if setup == "dealer":
-        beacon_pk, beacon_keys = threshold.keygen(group, t + 1, n, rng)
-    elif setup == "dkg":
-        from .dkg import run_dkg
-
-        result = run_dkg(group, t + 1, n, rng)
-        beacon_pk, beacon_keys = result.public, result.key_shares
-    else:
+    if setup not in ("dealer", "dkg"):
         raise ValueError(f"unknown key setup {setup!r}")
+
+    material: _RealSetup = setup_cache.get_or_derive(
+        real_setup_cache_key(group_profile, setup, n, t, seed),
+        lambda: _derive_real_setup(group_profile, setup, n, t, seed),
+    )
     shared = _SharedPublic(
-        group=group,
-        auth_publics=tuple(p.public for p in auth_pairs),
-        notary_pk=notary_pk,
-        final_pk=final_pk,
-        beacon_pk=beacon_pk,
+        group=material.group,
+        auth_publics=material.auth_publics,
+        notary_pk=material.notary_pk,
+        final_pk=material.final_pk,
+        beacon_pk=material.beacon_pk,
     )
     return [
         RealKeyring(
@@ -552,10 +613,10 @@ def generate_keyrings(
             n=n,
             t=t,
             shared=shared,
-            auth_secret=auth_pairs[i].secret,
-            notary_key=notary_keys[i],
-            final_key=final_keys[i],
-            beacon_key=beacon_keys[i],
+            auth_secret=material.auth_secrets[i],
+            notary_key=material.notary_keys[i],
+            final_key=material.final_keys[i],
+            beacon_key=material.beacon_keys[i],
             rng=Random(seed * 1_000_003 + i + 1),
         )
         for i in range(n)

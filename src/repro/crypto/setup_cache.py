@@ -1,0 +1,225 @@
+"""Content-addressed cache for deterministic crypto setup artifacts.
+
+Building a cluster derives key material — Schnorr keygen for S_auth,
+multisig keygen for S_notary/S_final, the trusted dealer or DKG for
+S_beacon — entirely deterministically from ``(scheme, n, t, seed, group
+parameters)``.  The experiment suite builds the *same* 13/40-node
+clusters over and over; this module lets every build after the first
+reuse one derivation instead of repeating it.
+
+Two layers:
+
+* **in-memory** — a plain dict per process; always consulted first.
+* **on-disk** — one file per entry under a cache directory, shared
+  between processes (the parallel runner's workers warm their in-memory
+  layer from it in the pool initializer).  Entries are content-addressed:
+  the file name is the SHA-256 of the canonical key encoding, and the
+  file body is ``sha256(payload) || payload`` with ``payload`` a pickle
+  of the derived object.  A corrupted, truncated or stale entry fails the
+  hash (or unpickle) check and is **recomputed and rewritten, never
+  trusted** — cache poisoning degrades to a cache miss.
+
+Keys must be tuples of primitives (str/int/float/bool/None, nested
+tuples) so their ``repr`` is canonical; :data:`FORMAT_VERSION` is mixed
+into every digest, so a format bump invalidates all old entries at once.
+
+Configuration:
+
+* ``REPRO_NO_SETUP_CACHE=1`` disables the cache entirely (every ``get``
+  derives from scratch) — the escape hatch when debugging suspected
+  cache staleness.
+* ``REPRO_SETUP_CACHE_DIR`` overrides the on-disk location (default
+  ``$XDG_CACHE_HOME/repro/setup-cache`` or ``~/.cache/repro/setup-cache``).
+
+See ``docs/PERFORMANCE.md`` for the operational story.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import asdict, dataclass
+from typing import Any, Callable
+
+#: Bumping this invalidates every existing entry (new digests).
+FORMAT_VERSION = 1
+
+_PRIMITIVES = (str, int, float, bool, bytes, type(None))
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`SetupCache` instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    disk_errors: int = 0
+    warmed: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def _check_key(key: Any) -> None:
+    if isinstance(key, tuple):
+        for item in key:
+            _check_key(item)
+        return
+    if not isinstance(key, _PRIMITIVES):
+        raise TypeError(
+            f"setup-cache keys must be tuples of primitives, got {type(key).__name__}"
+        )
+
+
+class SetupCache:
+    """In-memory + optional on-disk cache for derived setup objects."""
+
+    def __init__(self, directory: str | None = None, enabled: bool = True) -> None:
+        self.directory = directory
+        self.enabled = enabled
+        self.stats = CacheStats()
+        self._memory: dict[str, Any] = {}
+
+    # -- keys --------------------------------------------------------------
+
+    @staticmethod
+    def digest(key: tuple) -> str:
+        """Canonical content address for a key tuple."""
+        _check_key(key)
+        material = f"v{FORMAT_VERSION}|{key!r}".encode()
+        return hashlib.sha256(material).hexdigest()
+
+    # -- disk layer --------------------------------------------------------
+
+    def _path(self, digest: str) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, f"{digest}.setup")
+
+    def _disk_load(self, digest: str) -> tuple[bool, Any]:
+        """(found, value); hash/unpickle failures count as disk_errors."""
+        if self.directory is None:
+            return False, None
+        path = self._path(digest)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            return False, None
+        if len(blob) < 32 or hashlib.sha256(blob[32:]).digest() != blob[:32]:
+            self.stats.disk_errors += 1
+            return False, None
+        try:
+            return True, pickle.loads(blob[32:])
+        except Exception:
+            self.stats.disk_errors += 1
+            return False, None
+
+    def _disk_store(self, digest: str, value: Any) -> None:
+        if self.directory is None:
+            return
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            path = self._path(digest)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "wb") as handle:
+                handle.write(hashlib.sha256(payload).digest() + payload)
+            os.replace(tmp, path)  # atomic: concurrent workers race safely
+        except (OSError, pickle.PicklingError):
+            self.stats.disk_errors += 1
+
+    # -- public API --------------------------------------------------------
+
+    def get(self, key: tuple, derive: Callable[[], Any]) -> Any:
+        """The cached object for ``key``, deriving (and storing) on miss."""
+        if not self.enabled:
+            self.stats.misses += 1
+            return derive()
+        digest = self.digest(key)
+        if digest in self._memory:
+            self.stats.memory_hits += 1
+            return self._memory[digest]
+        found, value = self._disk_load(digest)
+        if found:
+            self.stats.disk_hits += 1
+            self._memory[digest] = value
+            return value
+        self.stats.misses += 1
+        value = derive()
+        self._memory[digest] = value
+        self._disk_store(digest, value)
+        return value
+
+    def warm(self) -> int:
+        """Preload every valid on-disk entry into memory; returns count."""
+        if not self.enabled or self.directory is None:
+            return 0
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return 0
+        loaded = 0
+        for name in names:
+            if not name.endswith(".setup"):
+                continue
+            digest = name[: -len(".setup")]
+            if digest in self._memory:
+                continue
+            found, value = self._disk_load(digest)
+            if found:
+                self._memory[digest] = value
+                loaded += 1
+        self.stats.warmed += loaded
+        return loaded
+
+    def clear_memory(self) -> None:
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+# ------------------------------------------------------------ module default
+
+
+def default_directory() -> str:
+    """Resolve the on-disk location from the environment."""
+    override = os.environ.get("REPRO_SETUP_CACHE_DIR")
+    if override:
+        return override
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro", "setup-cache")
+
+
+_DEFAULT: SetupCache | None = None
+
+
+def default_cache() -> SetupCache:
+    """The process-wide cache, built lazily from the environment."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        disabled = os.environ.get("REPRO_NO_SETUP_CACHE", "") not in ("", "0")
+        _DEFAULT = SetupCache(directory=default_directory(), enabled=not disabled)
+    return _DEFAULT
+
+
+def configure(directory: str | None, enabled: bool = True) -> SetupCache:
+    """Replace the process-wide cache (pool initializers, tests)."""
+    global _DEFAULT
+    _DEFAULT = SetupCache(directory=directory, enabled=enabled)
+    return _DEFAULT
+
+
+def reset() -> None:
+    """Drop the process-wide cache; the next use re-reads the environment."""
+    global _DEFAULT
+    _DEFAULT = None
+
+
+def get_or_derive(key: tuple, derive: Callable[[], Any]) -> Any:
+    """Convenience: :meth:`SetupCache.get` on the process-wide cache."""
+    return default_cache().get(key, derive)

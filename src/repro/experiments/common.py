@@ -22,21 +22,36 @@ from ..sim.delays import DelayModel
 # Opt-in structured tracing for the whole harness (the --trace flag).
 # When enabled, every cluster built through make_icc_config gets a fresh
 # Tracer and run_icc exports its events to a numbered JSONL file.
+#
+# Two naming modes share the one-file-per-run convention:
+#
+# * sequential (default): files are numbered by a global counter in
+#   cluster-construction order — fine for a single in-process run.
+# * spec mode (begin_spec_trace/end_spec_trace): the parallel runner
+#   (repro.experiments.runner) assigns each run its deterministic index
+#   from the RunSpec order *before* execution, so file names never
+#   depend on worker scheduling and workers never share a file.
 
 _TRACE_DIR: str | None = None
 _TRACE_SEQ = 0
+#: When not None, runner spec mode: (run index, clusters traced so far).
+_SPEC: tuple[int, int] | None = None
 #: Tracer attached to the most recent config; flushed by run_icc or by
 #: the next enable/attach cycle so experiments that drive clusters
 #: manually still get their export.
 _PENDING: tuple[Tracer, str] | None = None
 
 
-def enable_tracing(directory: str | None) -> None:
-    """Turn harness-wide tracing on (a directory path) or off (``None``)."""
+def enable_tracing(directory: str | None, start: int = 0) -> None:
+    """Turn harness-wide tracing on (a directory path) or off (``None``).
+
+    ``start`` seeds the sequential file counter — the suite driver uses
+    it to number inline runs after the runner-managed ones.
+    """
     global _TRACE_DIR, _TRACE_SEQ
     flush_pending_trace()
     _TRACE_DIR = directory
-    _TRACE_SEQ = 0
+    _TRACE_SEQ = start
     if directory is not None:
         os.makedirs(directory, exist_ok=True)
 
@@ -45,14 +60,40 @@ def tracing_enabled() -> bool:
     return _TRACE_DIR is not None
 
 
+def begin_spec_trace(index: int) -> None:
+    """Route subsequent cluster traces to run-``index`` file names."""
+    global _SPEC
+    flush_pending_trace()
+    _SPEC = (index, 0)
+
+
+def end_spec_trace() -> None:
+    """Leave spec naming mode (flushes any outstanding tracer)."""
+    global _SPEC
+    flush_pending_trace()
+    _SPEC = None
+
+
+def _next_trace_path(label: str) -> str:
+    global _TRACE_SEQ, _SPEC
+    if _SPEC is not None:
+        index, sub = _SPEC
+        _SPEC = (index, sub + 1)
+        # One file per run: the first (normally only) cluster of a spec
+        # gets the bare index; extra clusters get a `.k` suffix.
+        stem = f"{index:04d}" if sub == 0 else f"{index:04d}.{sub}"
+    else:
+        stem = f"{_TRACE_SEQ:04d}"
+        _TRACE_SEQ += 1
+    return os.path.join(_TRACE_DIR, f"{stem}-{label}.jsonl")
+
+
 def _attach_tracer(config: ClusterConfig, label: str) -> None:
-    global _TRACE_SEQ, _PENDING
+    global _PENDING
     flush_pending_trace()
     tracer = Tracer()
     config.tracer = tracer
-    path = os.path.join(_TRACE_DIR, f"{_TRACE_SEQ:04d}-{label}.jsonl")
-    _TRACE_SEQ += 1
-    _PENDING = (tracer, path)
+    _PENDING = (tracer, _next_trace_path(label))
 
 
 def flush_pending_trace() -> str | None:

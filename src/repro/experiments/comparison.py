@@ -30,6 +30,7 @@ from ..baselines import (
     TendermintParty,
     build_baseline_cluster,
 )
+from . import runner
 from .common import make_icc_config, mean, print_table, run_icc
 from ..sim.delays import FixedDelay
 
@@ -100,25 +101,62 @@ def run_baseline_row(cls, kwargs: dict, delta: float, n: int, blocks: int, seed:
     )
 
 
-def run(delta: float = 0.05, n: int = 7, blocks: int = 30, seed: int = 17) -> list[ComparisonRow]:
-    rows = [run_icc_row(p, delta, n, blocks, seed) for p in ("ICC0", "ICC1", "ICC2")]
-    rows.append(run_baseline_row(PBFTParty, dict(view_timeout=100 * delta), delta, n, blocks, seed))
-    rows.append(run_baseline_row(HotStuffParty, dict(base_timeout=100 * delta), delta, n, blocks, seed))
-    rows.append(
-        run_baseline_row(
-            TendermintParty,
-            dict(timeout_propose=100 * delta, timeout_step=100 * delta, timeout_commit=20 * delta),
-            delta,
-            n,
-            blocks,
-            seed,
+#: Baseline party classes and their timeout kwargs, by protocol name —
+#: the self-describing form a RunSpec can carry across process boundaries.
+def _baseline_setup(protocol: str, delta: float) -> tuple[type, dict]:
+    if protocol == "PBFT":
+        return PBFTParty, dict(view_timeout=100 * delta)
+    if protocol == "HotStuff":
+        return HotStuffParty, dict(base_timeout=100 * delta)
+    if protocol == "Tendermint":
+        return TendermintParty, dict(
+            timeout_propose=100 * delta, timeout_step=100 * delta, timeout_commit=20 * delta
         )
-    )
-    return rows
+    raise ValueError(f"unknown baseline protocol {protocol!r}")
 
 
-def main() -> list[ComparisonRow]:
-    results = run()
+def baseline_row(protocol: str, delta: float, n: int, blocks: int, seed: int) -> ComparisonRow:
+    """RunSpec executor: one baseline row, addressed by protocol name."""
+    cls, kwargs = _baseline_setup(protocol, delta)
+    return run_baseline_row(cls, kwargs, delta, n, blocks, seed)
+
+
+def specs(delta: float = 0.05, n: int = 7, blocks: int = 30, seed: int = 17) -> list[runner.RunSpec]:
+    """One RunSpec per comparison row (three ICC, three baselines)."""
+    out = [
+        runner.spec(
+            "comparison",
+            "comparison.run_icc_row",
+            label=f"comparison-{p}",
+            protocol=p,
+            delta=delta,
+            n=n,
+            blocks=blocks,
+            seed=seed,
+        )
+        for p in ("ICC0", "ICC1", "ICC2")
+    ]
+    out += [
+        runner.spec(
+            "comparison",
+            "comparison.baseline_row",
+            label=f"comparison-{p}",
+            protocol=p,
+            delta=delta,
+            n=n,
+            blocks=blocks,
+            seed=seed,
+        )
+        for p in ("PBFT", "HotStuff", "Tendermint")
+    ]
+    return out
+
+
+def run(delta: float = 0.05, n: int = 7, blocks: int = 30, seed: int = 17) -> list[ComparisonRow]:
+    return [runner.run_spec(s) for s in specs(delta=delta, n=n, blocks=blocks, seed=seed)]
+
+
+def tabulate(specs: list[runner.RunSpec], results: list[ComparisonRow]) -> list[ComparisonRow]:
     table_rows = []
     for r in results:
         paper_tp, paper_lat, responsive = PAPER_ROWS[r.protocol]
@@ -139,6 +177,11 @@ def main() -> list[ComparisonRow]:
         table_rows,
     )
     return results
+
+
+def main(jobs: int = 1) -> list[ComparisonRow]:
+    suite = specs()
+    return tabulate(suite, runner.execute(suite, jobs=jobs))
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from ..core.cluster import build_cluster
 from ..sim.delays import FixedDelay, IntermittentSynchrony
+from . import runner
 from .common import make_icc_config, print_table
 
 
@@ -86,8 +87,32 @@ def run(
     )
 
 
-def main() -> IntermittentResult:
-    result = run()
+def specs(
+    period: float = 20.0,
+    sync_len: float = 5.0,
+    duration: float = 120.0,
+    n: int = 7,
+    seed: int = 31,
+) -> list[runner.RunSpec]:
+    """The single intermittent-synchrony run as a RunSpec."""
+    return [
+        runner.spec(
+            "intermittent",
+            "intermittent.run",
+            label=f"intermittent-n{n}-seed{seed}",
+            period=period,
+            sync_len=sync_len,
+            duration=duration,
+            n=n,
+            seed=seed,
+        )
+    ]
+
+
+def tabulate(
+    specs: list[runner.RunSpec], results: list[IntermittentResult]
+) -> IntermittentResult:
+    result = results[0]
     print_table(
         f"E10: intermittent synchrony ({result.sync_len:.0f}s sync / "
         f"{result.period - result.sync_len:.0f}s async; {result.duration:.0f}s total)",
@@ -103,6 +128,11 @@ def main() -> IntermittentResult:
         f"({result.commits_per_second:.2f}/s — backlog flushed every sync window)"
     )
     return result
+
+
+def main(jobs: int = 1) -> IntermittentResult:
+    suite = specs()
+    return tabulate(suite, runner.execute(suite, jobs=jobs))
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ from ..adversary import SlowProposerMixin, corrupt_class
 from ..baselines import BaselineClusterConfig, PBFTParty, build_baseline_cluster
 from ..core.icc0 import ICC0Party
 from ..sim.delays import FixedDelay
+from . import runner
 from .common import make_icc_config, print_table, run_icc
 
 
@@ -92,24 +93,48 @@ def run_pbft(n: int, t: int, attack: bool, duration: float, seed: int = 9) -> fl
     return cluster.metrics.blocks_per_second(observer, duration)
 
 
-def run(n: int = 10, duration: float = 120.0) -> list[RobustnessResult]:
+def specs(n: int = 10, duration: float = 120.0, seed: int = 9) -> list[runner.RunSpec]:
+    """One RunSpec per (protocol, attack?) scenario."""
     t = (n - 1) // 3
-    results = []
-    for protocol, runner in (("ICC0", run_icc0), ("PBFT", run_pbft)):
+    out = []
+    for protocol, kind in (("ICC0", "robustness.run_icc0"), ("PBFT", "robustness.run_pbft")):
         for attack in (False, True):
-            bps = runner(n, t, attack, duration)
-            results.append(
-                RobustnessResult(
-                    protocol=protocol,
-                    scenario="slow-leader attack" if attack else "fault-free",
-                    blocks_per_second=bps,
+            out.append(
+                runner.spec(
+                    "robustness",
+                    kind,
+                    label=f"robustness-{protocol}-{'attack' if attack else 'clean'}",
+                    n=n,
+                    t=t,
+                    attack=attack,
+                    duration=duration,
+                    seed=seed,
                 )
             )
+    return out
+
+
+def _as_results(specs: list[runner.RunSpec], values: list[float]) -> list[RobustnessResult]:
+    results = []
+    for spec, bps in zip(specs, values):
+        params = spec.kwargs
+        results.append(
+            RobustnessResult(
+                protocol="ICC0" if spec.kind == "robustness.run_icc0" else "PBFT",
+                scenario="slow-leader attack" if params["attack"] else "fault-free",
+                blocks_per_second=bps,
+            )
+        )
     return results
 
 
-def main() -> list[RobustnessResult]:
-    results = run()
+def run(n: int = 10, duration: float = 120.0) -> list[RobustnessResult]:
+    suite = specs(n=n, duration=duration)
+    return _as_results(suite, [runner.run_spec(s) for s in suite])
+
+
+def tabulate(specs: list[runner.RunSpec], values: list[float]) -> list[RobustnessResult]:
+    results = _as_results(specs, values)
     by_protocol: dict[str, dict[str, float]] = {}
     for r in results:
         by_protocol.setdefault(r.protocol, {})[r.scenario] = r.blocks_per_second
@@ -127,6 +152,11 @@ def main() -> list[RobustnessResult]:
         rows,
     )
     return results
+
+
+def main(jobs: int = 1) -> list[RobustnessResult]:
+    suite = specs()
+    return tabulate(suite, runner.execute(suite, jobs=jobs))
 
 
 if __name__ == "__main__":

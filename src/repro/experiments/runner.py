@@ -1,0 +1,246 @@
+"""Parallel experiment runner: fan independent simulations across cores.
+
+Every experiment in the suite is a collection of *independent, seeded*
+simulation runs — the only sequential part is printing the tables.  This
+module makes that structure explicit:
+
+* :class:`RunSpec` describes one simulation run in plain, picklable data
+  (an executor name plus keyword arguments), so a run can execute in the
+  parent process or in a ``multiprocessing`` worker with identical
+  results.
+* :func:`execute` runs a list of specs either strictly in-process
+  (``jobs=1`` — today's sequential path, unchanged) or across a worker
+  pool (``jobs=N``), returning results **in spec order** regardless of
+  completion order.  Determinism is per-run (each run carries its own
+  seed), so serial and parallel execution produce bit-identical results;
+  ``tests/experiments/test_runner.py`` pins this.
+
+Tracing: when ``trace_dir`` is given, every run exports its structured
+trace (see :mod:`repro.obs`) to ``{index:04d}-{label}.jsonl`` where
+``index`` is the run's position in the spec list — assigned *before*
+execution, so file names do not depend on worker arrival order.  The
+runner additionally writes its own orchestration events
+(``runner.run_start`` / ``runner.run_end``) to ``runner.jsonl`` in the
+same directory; their ``time`` field is wall-clock seconds since
+:func:`execute` started (not simulation time) and is therefore not
+deterministic across machines.
+
+Workers warm the deterministic setup cache
+(:mod:`repro.crypto.setup_cache`) in their pool initializer, so key
+material derived once — by any process — is shared through the on-disk
+layer instead of being re-derived per worker.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import os
+from dataclasses import dataclass, field, replace
+from time import perf_counter
+from typing import Any, Callable, Sequence
+
+from ..crypto import setup_cache
+from ..obs import Tracer, write_jsonl
+
+#: Executor registry: RunSpec.kind -> (module, attribute).  Executors are
+#: referenced by name, never by object, so specs stay picklable and
+#: self-describing under both fork and spawn start methods.
+EXECUTORS: dict[str, tuple[str, str]] = {
+    "table1.run_cell": ("repro.experiments.table1", "run_cell"),
+    "throughput_latency.run_one": ("repro.experiments.throughput_latency", "run_one"),
+    "robustness.run_icc0": ("repro.experiments.robustness", "run_icc0"),
+    "robustness.run_pbft": ("repro.experiments.robustness", "run_pbft"),
+    "comparison.run_icc_row": ("repro.experiments.comparison", "run_icc_row"),
+    "comparison.baseline_row": ("repro.experiments.comparison", "baseline_row"),
+    "intermittent.run": ("repro.experiments.intermittent", "run"),
+    "ablations.epsilon_point": ("repro.experiments.ablations", "epsilon_point"),
+    "ablations.stagger_point": ("repro.experiments.ablations", "stagger_point"),
+    "ablations.gossip_degree_point": ("repro.experiments.ablations", "gossip_degree_point"),
+    "ablations.fill_delay_point": ("repro.experiments.ablations", "fill_delay_point"),
+}
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One self-describing simulation run.
+
+    ``kind`` names an entry in :data:`EXECUTORS`; ``params`` are its
+    keyword arguments as a sorted tuple of items (hashable, picklable,
+    order-independent).  ``index`` is the run's position in the suite,
+    assigned by :func:`execute`; ``label`` names trace files.
+    """
+
+    experiment: str
+    kind: str
+    params: tuple[tuple[str, Any], ...] = ()
+    label: str = ""
+    index: int = -1
+
+    @property
+    def kwargs(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def describe(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in self.params)
+        return f"{self.kind}({args})"
+
+
+def spec(experiment: str, kind: str, label: str | None = None, **params) -> RunSpec:
+    """Build a :class:`RunSpec`; params are normalized to sorted items."""
+    if kind not in EXECUTORS:
+        raise ValueError(f"unknown run kind {kind!r} (not in runner.EXECUTORS)")
+    if label is None:
+        label = "-".join(
+            [experiment] + [f"{k}{v}" for k, v in sorted(params.items())]
+        )
+    label = "".join(c if c.isalnum() or c in "-_." else "-" for c in label)
+    return RunSpec(
+        experiment=experiment, kind=kind, params=tuple(sorted(params.items())), label=label
+    )
+
+
+def resolve(kind: str) -> Callable[..., Any]:
+    """The executor callable for a spec kind (lazy import, no cycles)."""
+    try:
+        module_name, attr = EXECUTORS[kind]
+    except KeyError:
+        raise ValueError(f"unknown run kind {kind!r} (not in runner.EXECUTORS)") from None
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def run_spec(run: RunSpec) -> Any:
+    """Execute one spec in the current process and return its result."""
+    return resolve(run.kind)(**run.kwargs)
+
+
+# ---------------------------------------------------------------------- pool
+
+
+def default_jobs() -> int:
+    return os.cpu_count() or 1
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap, inherits warm caches); fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+#: Per-worker state installed by :func:`_worker_init`.
+_WORKER_TRACE_DIR: str | None = None
+
+
+def _worker_init(trace_dir: str | None, cache_dir: str | None, cache_enabled: bool) -> None:
+    global _WORKER_TRACE_DIR
+    _WORKER_TRACE_DIR = trace_dir
+    cache = setup_cache.configure(directory=cache_dir, enabled=cache_enabled)
+    cache.warm()
+
+
+def _run_traced(run: RunSpec, trace_dir: str | None) -> Any:
+    """Run one spec with its trace routed to the index-named file."""
+    from . import common  # local import: common imports nothing from runner
+
+    if trace_dir is None:
+        return run_spec(run)
+    common.enable_tracing(trace_dir)
+    common.begin_spec_trace(run.index)
+    try:
+        return run_spec(run)
+    finally:
+        common.end_spec_trace()
+        common.enable_tracing(None)
+
+
+def _worker_run(run: RunSpec) -> tuple[int, Any, float]:
+    start = perf_counter()
+    result = _run_traced(run, _WORKER_TRACE_DIR)
+    return run.index, result, (perf_counter() - start) * 1000.0
+
+
+# ------------------------------------------------------------------- execute
+
+
+@dataclass
+class _RunnerTrace:
+    """Collects runner.run_start / runner.run_end orchestration events."""
+
+    jobs: int
+    tracer: Tracer = field(default_factory=Tracer)
+    origin: float = field(default_factory=perf_counter)
+
+    def _emit(self, kind: str, run: RunSpec, extra: dict | None = None) -> None:
+        payload = {"run": run.index, "kind": run.kind, "label": run.label, "jobs": self.jobs}
+        if extra:
+            payload.update(extra)
+        self.tracer.emit(
+            time=perf_counter() - self.origin,
+            party=0,
+            protocol="runner",
+            round=None,
+            kind=kind,
+            payload=payload,
+        )
+
+    def run_start(self, run: RunSpec) -> None:
+        self._emit("runner.run_start", run)
+
+    def run_end(self, run: RunSpec, wall_ms: float) -> None:
+        self._emit("runner.run_end", run, {"wall_ms": round(wall_ms, 3)})
+
+    def write(self, trace_dir: str) -> None:
+        write_jsonl(self.tracer.events(), os.path.join(trace_dir, "runner.jsonl"))
+
+
+def execute(
+    specs: Sequence[RunSpec],
+    jobs: int | None = None,
+    trace_dir: str | None = None,
+) -> list[Any]:
+    """Run every spec and return results in spec order.
+
+    ``jobs=1`` executes in-process, sequentially, in spec order — the
+    exact code path the suite ran before this module existed.  ``jobs>1``
+    fans specs across a ``multiprocessing`` pool; per-run seeding makes
+    the results identical either way.  ``jobs=None`` uses
+    :func:`default_jobs` (``os.cpu_count()``).
+    """
+    jobs = default_jobs() if jobs is None else jobs
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    specs = [replace(s, index=i) for i, s in enumerate(specs)]
+    if not specs:
+        return []
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+    jobs = min(jobs, len(specs))
+    trace = _RunnerTrace(jobs=jobs) if trace_dir is not None else None
+
+    results: list[Any] = [None] * len(specs)
+    if jobs == 1:
+        for run in specs:
+            start = perf_counter()
+            if trace is not None:
+                trace.run_start(run)
+            results[run.index] = _run_traced(run, trace_dir)
+            if trace is not None:
+                trace.run_end(run, (perf_counter() - start) * 1000.0)
+    else:
+        cache = setup_cache.default_cache()
+        ctx = _pool_context()
+        with ctx.Pool(
+            processes=jobs,
+            initializer=_worker_init,
+            initargs=(trace_dir, cache.directory, cache.enabled),
+        ) as pool:
+            if trace is not None:
+                for run in specs:
+                    trace.run_start(run)
+            for index, result, wall_ms in pool.imap_unordered(_worker_run, specs):
+                results[index] = result
+                if trace is not None:
+                    trace.run_end(specs[index], wall_ms)
+    if trace is not None:
+        trace.write(trace_dir)
+    return results

@@ -1,0 +1,168 @@
+"""Benchmark the experiment runner: serial vs parallel wall-clock.
+
+Usage::
+
+    python -m repro bench-runner [--quick] [--jobs N] [--json PATH] [--check]
+
+Runs the same RunSpec suite twice — once with ``jobs=1`` (the in-process
+serial path) and once with ``jobs=N`` (the multiprocessing pool) — and
+reports wall-clock seconds, speedup, and setup-cache hit statistics.
+``--check`` exits non-zero if the parallel pass is slower than serial
+beyond a generous noise margin (pool setup costs real milliseconds, so
+the margin matters on small suites and single-core machines).
+
+``BENCH_runner.json`` at the repository root is a committed snapshot of
+this benchmark's ``--json`` output; see ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from ..crypto import setup_cache
+from . import runner
+
+#: Parallel must finish within this factor of serial for --check to pass.
+#: Generous on purpose: on a single-core machine (or a two-spec suite)
+#: the pool cannot win — two workers time-slicing one core measured
+#: ~0.8x — it must merely not lose badly.
+CHECK_TOLERANCE = 1.5
+
+
+def bench_suite(quick: bool) -> list[runner.RunSpec]:
+    """The benchmark workload, as self-describing RunSpecs.
+
+    The full workload is the runner-enumerable part of ``run_all --quick``.
+    ``--quick`` here trims further (CI-sized: a few seconds of simulation).
+    """
+    from . import ablations, comparison, intermittent, robustness, table1, throughput_latency
+
+    if quick:
+        return (
+            table1.specs(duration=20.0, subnets=(13,))
+            + throughput_latency.specs(deltas=(0.05, 0.1), rounds=10)
+            + robustness.specs(duration=30.0)
+            + intermittent.specs(duration=60.0)
+        )
+    from .run_all import suite
+
+    return [s for _, group in suite(quick=True) for s in group]
+
+
+def bench_setup_cache() -> dict:
+    """Time one real-backend key derivation cold vs disk-cached vs memory.
+
+    The experiments default to the fast (hash) crypto backend, so the
+    runner passes above exercise the cache machinery but never miss into
+    a real derivation; this measures the case the cache exists for.
+    """
+    import shutil
+    import tempfile
+
+    from ..crypto.keyring import generate_keyrings
+
+    directory = tempfile.mkdtemp(prefix="repro-setup-bench-")
+    previous = setup_cache.default_cache()
+    try:
+        def build():
+            return generate_keyrings(13, 4, seed=2024, backend="real", group_profile="test")
+
+        setup_cache.configure(directory=directory)
+        start = time.perf_counter()
+        build()
+        derive_ms = (time.perf_counter() - start) * 1000.0
+
+        setup_cache.configure(directory=directory)  # cold memory, warm disk
+        start = time.perf_counter()
+        build()
+        disk_hit_ms = (time.perf_counter() - start) * 1000.0
+
+        start = time.perf_counter()
+        build()
+        memory_hit_ms = (time.perf_counter() - start) * 1000.0
+        stats = setup_cache.default_cache().stats.as_dict()
+    finally:
+        setup_cache._DEFAULT = previous
+        shutil.rmtree(directory, ignore_errors=True)
+    return {
+        "workload": "generate_keyrings(n=13, t=4, backend='real')",
+        "derive_ms": round(derive_ms, 2),
+        "disk_hit_ms": round(disk_hit_ms, 2),
+        "memory_hit_ms": round(memory_hit_ms, 2),
+        "speedup_disk": round(derive_ms / disk_hit_ms, 1) if disk_hit_ms else None,
+        "stats": stats,
+    }
+
+
+def run_bench(jobs: int, quick: bool) -> dict:
+    specs = bench_suite(quick)
+
+    start = time.perf_counter()
+    serial_results = runner.execute(specs, jobs=1)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_results = runner.execute(specs, jobs=jobs)
+    parallel_s = time.perf_counter() - start
+
+    matches = sum(1 for a, b in zip(serial_results, parallel_results) if a == b)
+    return {
+        "benchmark": "experiment-runner",
+        "cores": os.cpu_count() or 1,
+        "runs": len(specs),
+        "quick": quick,
+        "serial": {"jobs": 1, "wall_s": round(serial_s, 3)},
+        "parallel": {"jobs": jobs, "wall_s": round(parallel_s, 3)},
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "results_identical": matches == len(specs),
+        "setup_cache": bench_setup_cache(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner_bench", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--jobs", type=int, default=None, metavar="N")
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--json", metavar="PATH", default=None)
+    parser.add_argument("--check", action="store_true")
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs if args.jobs is not None else runner.default_jobs()
+    report = run_bench(jobs=jobs, quick=args.quick)
+
+    print(f"runner benchmark: {report['runs']} runs on {report['cores']} core(s)")
+    print(f"  serial   (jobs=1): {report['serial']['wall_s']:8.2f} s")
+    print(f"  parallel (jobs={jobs}): {report['parallel']['wall_s']:8.2f} s")
+    print(f"  speedup          : {report['speedup']:.2f}x")
+    print(f"  results identical: {report['results_identical']}")
+    print(f"  setup cache      : {report['setup_cache']}")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+    if not report["results_identical"]:
+        print("FAIL: parallel results differ from serial")
+        return 1
+    if args.check:
+        serial_s = report["serial"]["wall_s"]
+        parallel_s = report["parallel"]["wall_s"]
+        if parallel_s > serial_s * CHECK_TOLERANCE:
+            print(
+                f"FAIL: parallel ({parallel_s:.2f} s) slower than serial "
+                f"({serial_s:.2f} s) beyond tolerance x{CHECK_TOLERANCE}"
+            )
+            return 1
+        print("check passed: parallel within tolerance of serial")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

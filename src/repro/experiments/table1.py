@@ -34,6 +34,7 @@ from ..adversary import SilentMixin, corrupt_class
 from ..core.icc1 import ICC1Party
 from ..sim.delays import WanDelay
 from ..workloads import MempoolWorkload, WorkloadSpec, management_only_source
+from . import runner
 from .common import make_icc_config, print_table
 
 #: Paper's reported numbers, for side-by-side printing.
@@ -132,16 +133,38 @@ def run_cell(
     )
 
 
+SCENARIOS = ("without load", "with load", "load + failures")
+
+
+def specs(
+    duration: float = 300.0, subnets: tuple[int, ...] = (13, 40), seed: int = 7
+) -> list[runner.RunSpec]:
+    """One RunSpec per Table 1 cell, in the paper's row order."""
+    return [
+        runner.spec(
+            "table1",
+            "table1.run_cell",
+            label=f"table1-n{subnet}-{scenario}",
+            subnet=subnet,
+            scenario=scenario,
+            duration=duration,
+            seed=seed,
+        )
+        for subnet in subnets
+        for scenario in SCENARIOS
+    ]
+
+
 def run(duration: float = 300.0, subnets: tuple[int, ...] = (13, 40), seed: int = 7) -> list[Table1Cell]:
     cells = []
     for subnet in subnets:
-        for scenario in ("without load", "with load", "load + failures"):
+        for scenario in SCENARIOS:
             cells.append(run_cell(subnet, scenario, duration=duration, seed=seed))
     return cells
 
 
-def main(duration: float = 300.0) -> list[Table1Cell]:
-    cells = run(duration=duration)
+def tabulate(specs: list[runner.RunSpec], cells: list[Table1Cell]) -> list[Table1Cell]:
+    """Print the table from already-computed cells (runner result phase)."""
     rows = [
         (
             f"{c.subnet} node subnet",
@@ -159,6 +182,11 @@ def main(duration: float = 300.0) -> list[Table1Cell]:
         rows,
     )
     return cells
+
+
+def main(duration: float = 300.0, jobs: int = 1) -> list[Table1Cell]:
+    suite = specs(duration=duration)
+    return tabulate(suite, runner.execute(suite, jobs=jobs))
 
 
 if __name__ == "__main__":

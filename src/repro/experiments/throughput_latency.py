@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..sim.delays import FixedDelay
+from . import runner
 from .common import make_icc_config, mean, print_table, run_icc
 
 #: Paper's steady-state figures, in multiples of δ.
@@ -83,6 +84,28 @@ def run_one(
     )
 
 
+def specs(
+    deltas: tuple[float, ...] = (0.02, 0.05, 0.1, 0.2),
+    protocols: tuple[str, ...] = ("ICC0", "ICC1", "ICC2"),
+    n: int = 7,
+    rounds: int = 30,
+) -> list[runner.RunSpec]:
+    """One RunSpec per (protocol, δ) measurement point."""
+    return [
+        runner.spec(
+            "throughput_latency",
+            "throughput_latency.run_one",
+            label=f"tl-{p}-d{int(d * 1000)}ms",
+            protocol=p,
+            delta=d,
+            n=n,
+            rounds=rounds,
+        )
+        for p in protocols
+        for d in deltas
+    ]
+
+
 def run(
     deltas: tuple[float, ...] = (0.02, 0.05, 0.1, 0.2),
     protocols: tuple[str, ...] = ("ICC0", "ICC1", "ICC2"),
@@ -92,8 +115,9 @@ def run(
     return [run_one(p, d, n=n, rounds=rounds) for p in protocols for d in deltas]
 
 
-def main() -> list[ThroughputLatencyResult]:
-    results = run()
+def tabulate(
+    specs: list[runner.RunSpec], results: list[ThroughputLatencyResult]
+) -> list[ThroughputLatencyResult]:
     rows = []
     for r in results:
         paper_tp, paper_lat = PAPER_NUMBERS[r.protocol]
@@ -113,6 +137,11 @@ def main() -> list[ThroughputLatencyResult]:
         rows,
     )
     return results
+
+
+def main(jobs: int = 1) -> list[ThroughputLatencyResult]:
+    suite = specs()
+    return tabulate(suite, runner.execute(suite, jobs=jobs))
 
 
 if __name__ == "__main__":

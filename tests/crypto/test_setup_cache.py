@@ -1,0 +1,214 @@
+"""The deterministic setup cache: hits equal fresh derivations, corruption
+is detected and recomputed, and the escape hatches work.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.crypto import setup_cache
+from repro.crypto.keyring import generate_keyrings, real_setup_cache_key
+from repro.crypto.setup_cache import FORMAT_VERSION, SetupCache
+
+
+def _cache(tmp_path) -> SetupCache:
+    return SetupCache(directory=str(tmp_path / "cache"))
+
+
+def test_memory_hit_returns_same_object(tmp_path):
+    cache = _cache(tmp_path)
+    key = ("scheme", 4, 1, 42)
+    first = cache.get(key, lambda: {"derived": 1})
+    second = cache.get(key, lambda: pytest.fail("must not re-derive"))
+    assert second is first
+    assert cache.stats.memory_hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_disk_hit_equals_fresh_derivation(tmp_path):
+    key = ("scheme", 4, 1, 42)
+    value = {"keys": [1, 2, 3], "pk": (7, 11)}
+    writer = _cache(tmp_path)
+    writer.get(key, lambda: value)
+
+    reader = SetupCache(directory=writer.directory)  # cold memory, same disk
+    assert reader.get(key, lambda: pytest.fail("must hit disk")) == value
+    assert reader.stats.disk_hits == 1
+
+
+def test_distinct_keys_do_not_collide(tmp_path):
+    cache = _cache(tmp_path)
+    assert cache.get(("s", 4, 1, 42), lambda: "a") == "a"
+    assert cache.get(("s", 4, 1, 43), lambda: "b") == "b"
+    assert cache.get(("s", 4, 2, 42), lambda: "c") == "c"
+
+
+def test_corrupted_entry_recomputed_never_trusted(tmp_path):
+    key = ("scheme", 4, 1, 42)
+    cache = _cache(tmp_path)
+    cache.get(key, lambda: "good")
+    path = cache._path(cache.digest(key))
+
+    # Flip payload bytes: the stored hash no longer matches.
+    blob = bytearray(open(path, "rb").read())
+    blob[-1] ^= 0xFF
+    with open(path, "wb") as handle:
+        handle.write(bytes(blob))
+
+    fresh = SetupCache(directory=cache.directory)
+    assert fresh.get(key, lambda: "recomputed") == "recomputed"
+    assert fresh.stats.disk_errors == 1
+    assert fresh.stats.misses == 1
+    # The rewrite healed the entry.
+    healed = SetupCache(directory=cache.directory)
+    assert healed.get(key, lambda: pytest.fail("must hit disk")) == "recomputed"
+
+
+def test_truncated_entry_is_a_miss(tmp_path):
+    key = ("scheme", 4, 1, 42)
+    cache = _cache(tmp_path)
+    cache.get(key, lambda: "good")
+    path = cache._path(cache.digest(key))
+    with open(path, "wb") as handle:
+        handle.write(b"\x00" * 10)  # shorter than the 32-byte hash header
+
+    fresh = SetupCache(directory=cache.directory)
+    assert fresh.get(key, lambda: "recomputed") == "recomputed"
+    assert fresh.stats.disk_errors == 1
+
+
+def test_stale_format_version_invalidates(tmp_path, monkeypatch):
+    key = ("scheme", 4, 1, 42)
+    cache = _cache(tmp_path)
+    cache.get(key, lambda: "v-old")
+    monkeypatch.setattr(setup_cache, "FORMAT_VERSION", FORMAT_VERSION + 1)
+    fresh = SetupCache(directory=cache.directory)
+    assert fresh.get(key, lambda: "v-new") == "v-new"  # digest changed: miss
+
+
+def test_unpicklable_payload_on_disk_is_rejected(tmp_path):
+    import hashlib
+
+    key = ("scheme", 4, 1, 42)
+    cache = _cache(tmp_path)
+    cache.get(key, lambda: "good")
+    path = cache._path(cache.digest(key))
+    # Valid hash over garbage that does not unpickle: still never trusted.
+    payload = b"not a pickle"
+    with open(path, "wb") as handle:
+        handle.write(hashlib.sha256(payload).digest() + payload)
+
+    fresh = SetupCache(directory=cache.directory)
+    assert fresh.get(key, lambda: "recomputed") == "recomputed"
+    assert fresh.stats.disk_errors == 1
+
+
+def test_warm_preloads_valid_entries_only(tmp_path):
+    cache = _cache(tmp_path)
+    cache.get(("a",), lambda: 1)
+    cache.get(("b",), lambda: 2)
+    path = cache._path(cache.digest(("b",)))
+    with open(path, "wb") as handle:
+        handle.write(b"junk-junk-junk-junk-junk-junk-junk-junk")
+
+    fresh = SetupCache(directory=cache.directory)
+    assert fresh.warm() == 1
+    assert fresh.stats.warmed == 1
+    assert fresh.stats.disk_errors == 1
+    assert len(fresh) == 1
+
+
+def test_disabled_cache_always_derives(tmp_path):
+    cache = SetupCache(directory=str(tmp_path), enabled=False)
+    key = ("scheme", 1)
+    assert cache.get(key, lambda: "x") == "x"
+    assert cache.get(key, lambda: "y") == "y"  # no caching whatsoever
+    assert cache.stats.misses == 2
+    assert len(cache) == 0
+
+
+def test_no_setup_cache_env_disables_default(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SETUP_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_NO_SETUP_CACHE", "1")
+    setup_cache.reset()
+    try:
+        assert setup_cache.default_cache().enabled is False
+        monkeypatch.setenv("REPRO_NO_SETUP_CACHE", "0")
+        setup_cache.reset()
+        cache = setup_cache.default_cache()
+        assert cache.enabled is True
+        assert cache.directory == str(tmp_path)
+    finally:
+        setup_cache.reset()  # next default_cache() re-reads the (clean) env
+
+
+def test_keys_must_be_primitive_tuples():
+    with pytest.raises(TypeError, match="primitives"):
+        SetupCache.digest((object(),))
+    with pytest.raises(TypeError, match="primitives"):
+        SetupCache.digest((["list"],))
+
+
+# -- integration with the real keyring backend --------------------------------
+
+
+def test_cached_real_setup_verifies_identically(tmp_path):
+    """Keyrings built from a disk-cache hit interoperate with fresh ones."""
+    directory = str(tmp_path / "kr-cache")
+    setup_cache.configure(directory=directory)
+    try:
+        fresh = generate_keyrings(4, 1, seed=99, backend="real", group_profile="test")
+        assert setup_cache.default_cache().stats.misses == 1
+
+        setup_cache.configure(directory=directory)  # cold memory, warm disk
+        cached = generate_keyrings(4, 1, seed=99, backend="real", group_profile="test")
+        assert setup_cache.default_cache().stats.disk_hits == 1
+
+        message = b"cache-equivalence"
+        # S_auth across the boundary, both directions.
+        assert cached[1].verify_auth(1, message, fresh[0].sign_auth(message))
+        assert fresh[1].verify_auth(2, message, cached[1].sign_auth(message))
+        # Threshold notarization: shares from one side combine and verify
+        # on the other.
+        shares = [k.sign_notary_share(message) for k in fresh]
+        agg = cached[0].combine_notary(message, shares)
+        assert cached[2].verify_notary(message, agg)
+        # Beacon: both sides derive the same unique value (the DLEQ proofs
+        # on the carried shares are randomized, so compare .value, not the
+        # whole object) and accept each other's combined signature.
+        round_msg = b"beacon-round-5"
+        sig_cached = cached[0].combine_beacon(
+            round_msg, [k.sign_beacon_share(round_msg) for k in cached[:2]]
+        )
+        sig_fresh = fresh[0].combine_beacon(
+            round_msg, [k.sign_beacon_share(round_msg) for k in fresh[:2]]
+        )
+        assert sig_cached.value == sig_fresh.value
+        assert cached[3].verify_beacon(round_msg, sig_fresh)
+        assert fresh[3].verify_beacon(round_msg, sig_cached)
+    finally:
+        setup_cache.reset()
+
+
+def test_real_setup_cache_key_is_primitive():
+    key = real_setup_cache_key("test", "dealer", 4, 1, 42)
+    SetupCache.digest(key)  # raises TypeError if not primitive
+    assert key[0] == "keyring-real-setup"
+
+
+def test_fresh_and_cached_runs_give_identical_signatures(tmp_path):
+    """Bit-identical keys: same seed, cache on or off, same signatures."""
+    setup_cache.configure(directory=str(tmp_path / "c1"))
+    try:
+        with_cache = generate_keyrings(4, 1, seed=7, backend="real", group_profile="test")
+        with_cache2 = generate_keyrings(4, 1, seed=7, backend="real", group_profile="test")
+        setup_cache.configure(directory=None, enabled=False)
+        without = generate_keyrings(4, 1, seed=7, backend="real", group_profile="test")
+        message = b"determinism"
+        sigs = [k.sign_auth(message) for k in (with_cache[0], with_cache2[0], without[0])]
+        assert sigs[0] == sigs[1] == sigs[2]
+    finally:
+        setup_cache.reset()
