@@ -8,6 +8,8 @@ Commands:
   ``--jobs N`` for the parallel runner);
 * ``trace``       — run a traced simulation (or load a JSONL export) and
   print latency/message summaries — see ``docs/OBSERVABILITY.md``;
+* ``chaos``       — seeded fault-scenario sweep with safety/liveness
+  invariant checking across the ICC variants — see ``docs/FAULTS.md``;
 * ``bench``       — crypto fast-path benchmark (single vs batch verification
   throughput per primitive) — see ``docs/PERFORMANCE.md``;
 * ``bench-runner`` — experiment-suite wall-clock benchmark (serial vs
@@ -128,6 +130,25 @@ def _cmd_trace(args: argparse.Namespace) -> None:
         print(f"\nwrote {count} events to {args.export}")
 
 
+def _cmd_chaos(args: argparse.Namespace) -> None:
+    from repro.experiments import chaos, runner
+
+    seeds = range(args.seed, args.seed + args.count)
+    protocols = tuple(p.strip().upper() for p in args.protocols.split(",") if p.strip())
+    suite = chaos.specs(
+        seeds=seeds,
+        protocols=protocols,
+        n=args.n,
+        duration=args.duration,
+        intensity=args.intensity,
+    )
+    results = chaos.tabulate(
+        suite, runner.execute(suite, jobs=args.jobs, trace_dir=args.trace)
+    )
+    if any(not r.ok for r in results):
+        sys.exit(1)
+
+
 def _cmd_report(args: argparse.Namespace) -> None:
     from repro.experiments import report
 
@@ -231,6 +252,38 @@ def main(argv: list[str] | None = None) -> None:
         help="summarize an existing JSONL export instead of running",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-scenario sweep with invariant checking",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="first scenario seed (each seed fully determines its scenario)",
+    )
+    chaos.add_argument(
+        "--count", type=int, default=1, metavar="K",
+        help="number of consecutive scenario seeds to sweep",
+    )
+    chaos.add_argument(
+        "--protocols", default="icc0,icc1,icc2",
+        help="comma-separated ICC variants to run each scenario against",
+    )
+    chaos.add_argument("--n", type=int, default=7)
+    chaos.add_argument("--duration", type=float, default=40.0)
+    chaos.add_argument(
+        "--intensity", type=float, default=1.0,
+        help="scales how many faults each scenario draws",
+    )
+    chaos.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (results are identical at any job count)",
+    )
+    chaos.add_argument(
+        "--trace", metavar="DIR", default=None,
+        help="export one trace JSONL per run into DIR",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     report = sub.add_parser("report", help="write a markdown evaluation report")
     report.add_argument("output", nargs="?", default="EXPERIMENTS-generated.md")

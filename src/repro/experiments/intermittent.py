@@ -21,7 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.cluster import build_cluster
-from ..sim.delays import FixedDelay, IntermittentSynchrony
+from ..faults import Scenario, install_scenario, outage_schedule
+from ..sim.delays import FixedDelay
 from . import runner
 from .common import make_icc_config, print_table
 
@@ -57,17 +58,26 @@ def run(
     n: int = 7,
     seed: int = 31,
 ) -> IntermittentResult:
-    delay = IntermittentSynchrony(base=FixedDelay(0.05), period=period, sync_len=sync_len)
+    # The intermittent network is now expressed as a fault scenario: the
+    # delay model stays plain FixedDelay and a schedule of OutageFault
+    # windows (the complement of the synchronous windows) stretches
+    # deliveries exactly like delays.IntermittentSynchrony did —
+    # tests/faults/test_ports.py pins the bit-for-bit equivalence.
+    scenario = Scenario(
+        name=f"intermittent-p{period:g}-s{sync_len:g}",
+        events=outage_schedule(period, sync_len, duration),
+    )
     config = make_icc_config(
         "ICC0",
         n=n,
         t=(n - 1) // 3,
         delta_bound=0.3,
         epsilon=0.02,
-        delay_model=delay,
+        delay_model=FixedDelay(0.05),
         seed=seed,
     )
     cluster = build_cluster(config)
+    install_scenario(cluster, scenario)
     cluster.start()
     cluster.run_for(duration, max_events=30_000_000)
     cluster.check_safety()

@@ -22,12 +22,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..adversary import SlowProposerMixin, corrupt_class
+from ..adversary import SlowProposerMixin
 from ..baselines import BaselineClusterConfig, PBFTParty, build_baseline_cluster
 from ..core.icc0 import ICC0Party
+from ..faults import ByzantineFault, Scenario, register_behavior, scenario_corrupt
 from ..sim.delays import FixedDelay
 from . import runner
 from .common import make_icc_config, print_table, run_icc
+
+#: The attack's proposal lag — just under the PBFT view timeout below.
+ATTACK_LAG = 3.0
 
 
 class SlowPrimaryPBFT(SlowProposerMixin, PBFTParty):
@@ -36,6 +40,39 @@ class SlowPrimaryPBFT(SlowProposerMixin, PBFTParty):
     def _propose_next(self) -> None:  # noqa: D102
         delay = self.propose_lag
         self.sim.schedule(delay, lambda: PBFTParty._propose_next(self))
+
+
+def _build_slow_primary(base: type, params: dict) -> type:
+    """PBFT-specific behaviour: the slow node must *be* the primary class."""
+    SlowPrimaryPBFT.propose_lag = params.get("propose_lag", ATTACK_LAG)
+    return SlowPrimaryPBFT
+
+
+register_behavior("slow-primary-pbft", _build_slow_primary)
+
+
+def attack_scenario(protocol: str, t: int) -> Scenario:
+    """The slow-leader attack of [15], as a declarative fault scenario.
+
+    For ICC the adversary corrupts its full budget of t parties (the
+    beacon rotates leaders, so one slow party only costs ~1/n of rounds);
+    for PBFT a single slow node suffices — view 1's primary is party 1,
+    and it never lets the view-change timeout fire.
+    """
+    if protocol == "PBFT":
+        events = (ByzantineFault(
+            party=1, behavior="slow-primary-pbft",
+            params=(("propose_lag", ATTACK_LAG),),
+        ),)
+    else:
+        events = tuple(
+            ByzantineFault(
+                party=i, behavior="slow-proposer",
+                params=(("propose_lag", ATTACK_LAG),),
+            )
+            for i in range(1, t + 1)
+        )
+    return Scenario(name=f"slow-leader-{protocol.lower()}", events=events)
 
 
 @dataclass(frozen=True)
@@ -49,9 +86,7 @@ def run_icc0(n: int, t: int, attack: bool, duration: float, seed: int = 9) -> fl
     delta = 0.05
     corrupt = {}
     if attack:
-        slow = corrupt_class(ICC0Party, SlowProposerMixin)
-        slow.propose_lag = 3.0  # just under the PBFT view timeout used below
-        corrupt = {i: slow for i in range(1, t + 1)}
+        corrupt = scenario_corrupt(attack_scenario("ICC0", t), ICC0Party)
     config = make_icc_config(
         "ICC0",
         n=n,
@@ -71,11 +106,7 @@ def run_pbft(n: int, t: int, attack: bool, duration: float, seed: int = 9) -> fl
     delta = 0.05
     corrupt = {}
     if attack:
-        # The adversary needs its slow node to *be* the primary: view 1's
-        # primary is party 1.
-        slow = SlowPrimaryPBFT
-        slow.propose_lag = 3.0
-        corrupt = {1: slow}
+        corrupt = scenario_corrupt(attack_scenario("PBFT", t), PBFTParty)
     config = BaselineClusterConfig(
         party_class=PBFTParty,
         n=n,

@@ -54,6 +54,7 @@ EXECUTORS: dict[str, tuple[str, str]] = {
     "comparison.run_icc_row": ("repro.experiments.comparison", "run_icc_row"),
     "comparison.baseline_row": ("repro.experiments.comparison", "baseline_row"),
     "intermittent.run": ("repro.experiments.intermittent", "run"),
+    "chaos.run_scenario": ("repro.experiments.chaos", "run_scenario"),
     "ablations.epsilon_point": ("repro.experiments.ablations", "epsilon_point"),
     "ablations.stagger_point": ("repro.experiments.ablations", "stagger_point"),
     "ablations.gossip_degree_point": ("repro.experiments.ablations", "gossip_degree_point"),

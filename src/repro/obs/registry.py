@@ -251,6 +251,65 @@ register(
     ("batch",),
 )
 
+# -- fault injection ----------------------------------------------------------
+
+register(
+    "fault.inject", "repro.faults.inject",
+    "A fault scenario was installed on the cluster (`events` is the "
+    "schedule length, `seed` the scenario's own fault-decision seed).",
+    ("scenario", "seed", "events"),
+)
+register(
+    "fault.crash", "repro.faults.inject",
+    "A scheduled CrashFault fired (the net.crash event follows).",
+    (),
+)
+register(
+    "fault.recover", "repro.faults.inject",
+    "A scheduled RecoverFault fired (the net.revive event follows).",
+    (),
+)
+register(
+    "fault.partition", "repro.faults.inject",
+    "A scheduled PartitionFault installed a partition between `group` "
+    "and the rest until `heal_time`.",
+    ("group", "heal_time"),
+)
+register(
+    "fault.drop", "repro.faults.inject",
+    "A LinkFault dropped one delivery of a `kind` message to `receiver`.",
+    ("kind", "receiver"),
+)
+register(
+    "fault.duplicate", "repro.faults.inject",
+    "A LinkFault delivered a `kind` message to `receiver` twice.",
+    ("kind", "receiver"),
+)
+register(
+    "fault.corrupt", "repro.faults.inject",
+    "A LinkFault tampered a `kind` message in flight to `receiver` "
+    "(signature/hash checks at the receiver must reject it).",
+    ("kind", "receiver"),
+)
+register(
+    "fault.delay", "repro.faults.inject",
+    "A LinkFault, ClockSkewFault or OutageFault held one delivery of a "
+    "`kind` message to `receiver` for `extra` additional seconds.",
+    ("kind", "receiver", "extra"),
+)
+register(
+    "fault.outage.begin", "repro.faults.inject",
+    "An OutageFault window opened: the whole network is asynchronous "
+    "`until` the window closes.",
+    ("until",),
+)
+register(
+    "fault.outage.end", "repro.faults.inject",
+    "An OutageFault window closed; held deliveries land one base delay "
+    "later.",
+    (),
+)
+
 # -- experiment runner --------------------------------------------------------
 
 register(

@@ -32,6 +32,21 @@ class Receiver(Protocol):
     def on_receive(self, message: object) -> None: ...
 
 
+class FaultInterceptor(Protocol):
+    """What the network requires of an installed fault injector.
+
+    ``intercept`` sees every remote delivery after its natural delay has
+    been computed and either returns ``None`` (deliver unchanged — the
+    fast path) or a replacement list of ``(delay, message)`` hops: empty
+    to drop the delivery, one entry to delay/corrupt it, several to
+    duplicate it.  See :class:`repro.faults.inject.FaultInjector`.
+    """
+
+    def intercept(
+        self, sender: int, receiver: int, message: object, delay: float
+    ) -> list[tuple[float, object]] | None: ...
+
+
 def wire_size(message: object) -> int:
     """Size of a message on the wire, via duck typing.
 
@@ -88,6 +103,10 @@ class Network:
         self._crashed: set[int] = set()
         self._partitions: list[tuple[frozenset[int], float]] = []
         self._delivered = 0
+        #: Optional fault interceptor (:class:`repro.faults.inject.FaultInjector`).
+        #: ``None`` keeps :meth:`_deliver` on the exact pre-fault-layer path —
+        #: the zero-overhead no-op mirror of the disabled tracer.
+        self._faults: FaultInterceptor | None = None
 
     # -- topology management --------------------------------------------------
 
@@ -101,7 +120,10 @@ class Network:
     def crash(self, index: int) -> None:
         """Silence a party (crash-failure corruption, or a node going
         offline): it neither sends nor receives, and messages addressed to
-        it are *dropped* (unlike a partition, which holds them back)."""
+        it are *dropped* (unlike a partition, which holds them back).
+        Crashing an already-crashed party is a no-op."""
+        if not 1 <= index <= self.n:
+            raise ValueError(f"cannot crash party {index}: outside 1..{self.n}")
         self._crashed.add(index)
         tracer = self.sim.tracer
         if tracer.enabled:
@@ -111,7 +133,17 @@ class Network:
     def revive(self, index: int) -> None:
         """Bring a crashed/offline party back.  In the paper's model a
         corrupt party stays corrupt; revive models an *honest* node that
-        was offline and rejoins — the catch-up subprotocol's scenario."""
+        was offline and rejoins — the catch-up subprotocol's scenario.
+
+        Reviving a party that is not crashed is an error: it is always a
+        mis-specified fault schedule, and silently accepting it used to
+        emit a phantom ``net.revive`` trace event for a node that never
+        went down.
+        """
+        if not 1 <= index <= self.n:
+            raise ValueError(f"cannot revive party {index}: outside 1..{self.n}")
+        if index not in self._crashed:
+            raise ValueError(f"cannot revive party {index}: it is not crashed")
         self._crashed.discard(index)
         tracer = self.sim.tracer
         if tracer.enabled:
@@ -123,13 +155,37 @@ class Network:
 
     def add_partition(self, group: set[int], heal_time: float) -> None:
         """Until ``heal_time``, messages between ``group`` and the rest are
-        held back (and delivered at heal time — eventual delivery holds)."""
-        self._partitions.append((frozenset(group), heal_time))
+        held back (and delivered at heal time — eventual delivery holds).
+
+        Partitions compose: when several active partitions separate a
+        sender/receiver pair (overlapping groups with different heal
+        times), the message is held until the *last* separating partition
+        heals.  A crashed node may appear in a group — crash semantics
+        win (its messages are dropped, not held) until it is revived,
+        after which the partition applies to it like anyone else.
+        A ``heal_time`` in the past is accepted as an explicit no-op.
+        """
+        for index in group:
+            if not 1 <= index <= self.n:
+                raise ValueError(
+                    f"cannot partition party {index}: outside 1..{self.n}"
+                )
+        now = self.sim.now
+        # Healed partitions can never hold a future message — prune them so
+        # long fault schedules do not grow the scan in _partition_hold.
+        self._partitions = [(g, heal) for g, heal in self._partitions if heal > now]
+        if heal_time > now:
+            self._partitions.append((frozenset(group), heal_time))
         tracer = self.sim.tracer
         if tracer.enabled:
             tracer.emit(time=self.sim.now, party=0, protocol="net", round=None,
                         kind="net.partition",
                         payload={"group": sorted(group), "heal_time": heal_time})
+
+    def active_partitions(self) -> list[tuple[frozenset[int], float]]:
+        """The partitions that can still hold messages back (for tests)."""
+        now = self.sim.now
+        return [(g, heal) for g, heal in self._partitions if heal > now]
 
     def _partition_hold(self, sender: int, receiver: int) -> float:
         """Extra wait imposed by active partitions (0 when none)."""
@@ -141,6 +197,23 @@ class Network:
             if (sender in group) != (receiver in group):
                 hold = max(hold, heal - now)
         return hold
+
+    # -- fault injection -------------------------------------------------------
+
+    def install_faults(self, interceptor: FaultInterceptor) -> None:
+        """Attach a fault interceptor to every remote delivery.
+
+        Only one interceptor may be installed at a time (compose fault
+        schedules at the :class:`~repro.faults.scenario.Scenario` level,
+        not by stacking interceptors).
+        """
+        if self._faults is not None:
+            raise ValueError("a fault interceptor is already installed")
+        self._faults = interceptor
+
+    def clear_faults(self) -> None:
+        """Restore the exact zero-overhead no-fault delivery path."""
+        self._faults = None
 
     # -- transmission -----------------------------------------------------------
 
@@ -236,6 +309,18 @@ class Network:
             delay += self._partition_hold(sender, receiver)
             if sent_at is not None:
                 delay += sent_at - self.sim.now  # NIC serialization time
+            if self._faults is not None:
+                plan = self._faults.intercept(sender, receiver, message, delay)
+                if plan is not None:
+                    # The interceptor replaced this delivery (drop / delay /
+                    # corrupt / duplicate); scenario-level duplication owns
+                    # the hops, so the duplicate_prob path below is skipped.
+                    for hop_delay, hop_message in plan:
+                        self.sim.schedule(
+                            hop_delay,
+                            lambda m=hop_message: self._hand_over(receiver, m),
+                        )
+                    return
         self.sim.schedule(delay, lambda: self._hand_over(receiver, message))
         if (
             receiver != sender

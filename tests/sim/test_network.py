@@ -101,6 +101,45 @@ class TestCrash:
         sim.run()
         assert len(parties[2].received) == 0
 
+    def test_crash_is_idempotent(self):
+        sim, net, parties = make_net()
+        net.crash(3)
+        net.crash(3)
+        net.revive(3)
+        net.broadcast(1, b"x")
+        sim.run()
+        assert len(parties[2].received) == 1
+
+    def test_crash_rejects_out_of_range_index(self):
+        sim, net, _ = make_net(n=3)
+        with pytest.raises(ValueError, match="outside 1..3"):
+            net.crash(0)
+        with pytest.raises(ValueError, match="outside 1..3"):
+            net.crash(4)
+
+    def test_revive_of_never_crashed_party_rejected(self):
+        # Silently accepting this used to emit a phantom net.revive event
+        # for a node that never went down — a mis-specified fault schedule
+        # must be loud.
+        sim, net, _ = make_net()
+        with pytest.raises(ValueError, match="not crashed"):
+            net.revive(2)
+
+    def test_revive_rejects_out_of_range_index(self):
+        sim, net, _ = make_net(n=3)
+        with pytest.raises(ValueError, match="outside 1..3"):
+            net.revive(7)
+
+    def test_revive_after_crash_restores_delivery(self):
+        sim, net, parties = make_net()
+        net.crash(3)
+        net.revive(3)
+        with pytest.raises(ValueError, match="not crashed"):
+            net.revive(3)  # a second revive is the same mis-specification
+        net.broadcast(1, b"x")
+        sim.run()
+        assert len(parties[2].received) == 1
+
 
 class TestPartition:
     def test_messages_held_until_heal(self):
@@ -127,6 +166,98 @@ class TestPartition:
         net.broadcast(1, b"x")
         sim.run()
         assert parties[1].received[0][0] == pytest.approx(0.1)
+        assert net.active_partitions() == []
+
+    def test_partition_rejects_out_of_range_index(self):
+        sim, net, _ = make_net(n=3)
+        with pytest.raises(ValueError, match="outside 1..3"):
+            net.add_partition({1, 9}, heal_time=5.0)
+
+    def test_overlapping_partitions_hold_until_last_heal(self):
+        # Two partitions both separate 1 from 3 with different heal
+        # times: the message must wait for the *last* separating cut.
+        sim, net, parties = make_net(delay=0.1)
+        net.add_partition({1}, heal_time=2.0)
+        net.add_partition({1, 2}, heal_time=5.0)
+        net.send(1, 3, b"x")
+        sim.run(until=4.0)
+        assert parties[2].received == []
+        sim.run()
+        assert parties[2].received[0][0] >= 5.0
+
+    def test_partitioning_a_crashed_party_crash_wins(self):
+        # While crashed, messages to the party are dropped (not held);
+        # after revive the partition applies like anyone else.
+        sim, net, parties = make_net(delay=0.1)
+        net.crash(3)
+        net.add_partition({3}, heal_time=5.0)
+        net.broadcast(1, b"lost")          # dropped: 3 is down
+        sim.schedule(1.0, lambda: net.revive(3))
+        sim.schedule(2.0, lambda: net.broadcast(1, b"held"))
+        sim.run()
+        assert [m for _, m in parties[2].received] == [b"held"]
+        assert parties[2].received[0][0] >= 5.0
+
+    def test_healed_partitions_are_pruned(self):
+        sim, net, _ = make_net()
+        net.add_partition({1}, heal_time=1.0)
+        net.add_partition({2}, heal_time=2.0)
+        sim.schedule(3.0, lambda: None)  # advance the clock past both heals
+        sim.run()
+        net.add_partition({3}, heal_time=9.0)  # prunes the healed ones
+        assert net.active_partitions() == [(frozenset({3}), 9.0)]
+        assert net._partitions == [(frozenset({3}), 9.0)]
+
+
+class TestFaultInterceptor:
+    class Tap:
+        def __init__(self, plan=None):
+            self.plan = plan
+            self.seen = []
+
+        def intercept(self, sender, receiver, message, delay):
+            self.seen.append((sender, receiver, message, delay))
+            return self.plan
+
+    def test_none_keeps_delivery_unchanged(self):
+        sim, net, parties = make_net(delay=0.1)
+        tap = self.Tap(plan=None)
+        net.install_faults(tap)
+        net.send(1, 3, b"x")
+        sim.run()
+        assert parties[2].received == [(0.1, b"x")]
+        assert tap.seen == [(1, 3, b"x", 0.1)]
+
+    def test_self_delivery_never_intercepted(self):
+        sim, net, parties = make_net()
+        tap = self.Tap(plan=[])  # would drop everything remote
+        net.install_faults(tap)
+        net.broadcast(1, b"x")
+        sim.run()
+        assert parties[0].received == [(0.0, b"x")]
+        assert all(s != r for s, r, _, _ in tap.seen)
+
+    def test_empty_plan_drops(self):
+        sim, net, parties = make_net()
+        net.install_faults(self.Tap(plan=[]))
+        net.send(1, 3, b"x")
+        sim.run()
+        assert parties[2].received == []
+
+    def test_plan_replaces_delivery(self):
+        sim, net, parties = make_net(delay=0.1)
+        net.install_faults(self.Tap(plan=[(0.5, b"a"), (0.7, b"a")]))
+        net.send(1, 3, b"x")
+        sim.run()
+        assert parties[2].received == [(0.5, b"a"), (0.7, b"a")]
+
+    def test_single_interceptor_slot(self):
+        sim, net, _ = make_net()
+        net.install_faults(self.Tap())
+        with pytest.raises(ValueError, match="already installed"):
+            net.install_faults(self.Tap())
+        net.clear_faults()
+        net.install_faults(self.Tap())  # free again after clearing
 
 
 class TestAccounting:

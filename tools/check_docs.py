@@ -11,7 +11,11 @@ Checks every ``*.md`` file in the repo root and ``docs/``:
   (external ``http(s)``/``mailto`` targets and pure ``#anchor`` links are
   skipped; ``path#anchor`` links are checked for the path part);
 * code fences are balanced (every ``````` opener has a closer);
-* no tab characters inside markdown tables (they break column alignment).
+* no tab characters inside markdown tables (they break column alignment);
+* every ``python -m repro`` subcommand registered in
+  ``src/repro/__main__.py`` is documented in the README (the parser is
+  scanned textually — no import — so the check runs without the package
+  installed).
 
 Exit status 0 when clean, 1 with one line per problem otherwise.  CI runs
 this plus the test-suite; ``tests/test_docs.py`` runs it in-process.
@@ -80,12 +84,41 @@ def check_tables(path: pathlib.Path, problems: list[str]) -> None:
             )
 
 
+#: ``sub.add_parser("name", ...)`` registrations in the CLI module.
+SUBCOMMAND_RE = re.compile(r"""\.add_parser\(\s*["']([a-z0-9-]+)["']""")
+
+
+def cli_subcommands() -> list[str]:
+    """Subcommand names registered in ``src/repro/__main__.py``."""
+    cli = REPO / "src" / "repro" / "__main__.py"
+    if not cli.is_file():
+        return []
+    return sorted(set(SUBCOMMAND_RE.findall(cli.read_text(encoding="utf-8"))))
+
+
+def check_cli_docs(problems: list[str]) -> None:
+    """Every CLI subcommand must appear as ``python -m repro <name>`` in README."""
+    readme = REPO / "README.md"
+    if not readme.is_file():
+        problems.append("README.md: missing (cannot check CLI subcommand docs)")
+        return
+    # Collapse whitespace so invocations wrapped across lines still match.
+    text = re.sub(r"\s+", " ", readme.read_text(encoding="utf-8"))
+    for name in cli_subcommands():
+        if f"python -m repro {name}" not in text:
+            problems.append(
+                f"README.md: CLI subcommand {name!r} is undocumented "
+                f"(no `python -m repro {name}` invocation found)"
+            )
+
+
 def run() -> list[str]:
     problems: list[str] = []
     for path in doc_files():
         check_links(path, problems)
         check_fences(path, problems)
         check_tables(path, problems)
+    check_cli_docs(problems)
     return problems
 
 
