@@ -99,7 +99,7 @@ def _cmd_trace(args: argparse.Namespace) -> None:
         )
         config.tracer = tracer
         cluster = run_icc(config, duration=args.rounds * args.delta * 8)
-        events = tracer.events()
+        events = tracer.export_events()
         print(
             f"{args.protocol.upper()} n={args.n} δ={args.delta * 1000:.0f} ms "
             f"seed={args.seed}: {cluster.min_committed_round()} rounds committed, "
@@ -150,12 +150,41 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
 
 
 def _cmd_report(args: argparse.Namespace) -> None:
-    from repro.experiments import report
+    if args.suite:
+        from repro.experiments import report
 
-    argv = [args.output]
-    if args.quick:
-        argv.append("--quick")
-    report.main(argv)
+        argv = [args.output or "EXPERIMENTS-generated.md"]
+        if args.quick:
+            argv.append("--quick")
+        report.main(argv)
+        return
+    from repro.experiments import run_report
+
+    argv = [args.output or "REPORT.md"]
+    for flag, value in (
+        ("--protocol", args.protocol),
+        ("--n", args.n),
+        ("--t", args.t),
+        ("--delta", args.delta),
+        ("--rounds", args.rounds),
+        ("--seed", args.seed),
+        ("--jobs", args.jobs),
+        ("--trace-dir", args.trace_dir),
+    ):
+        if value is not None:
+            argv += [flag, str(value)]
+    if args.runs is not None:
+        argv += ["--runs", str(args.runs)]
+    for flag, on in (
+        ("--quick", args.quick),
+        ("--load", args.load),
+        ("--html", args.html),
+    ):
+        if on:
+            argv.append(flag)
+    status = run_report.main(argv)
+    if status:
+        sys.exit(status)
 
 
 def _cmd_bench(args: argparse.Namespace) -> None:
@@ -285,9 +314,48 @@ def main(argv: list[str] | None = None) -> None:
     )
     chaos.set_defaults(func=_cmd_chaos)
 
-    report = sub.add_parser("report", help="write a markdown evaluation report")
-    report.add_argument("output", nargs="?", default="EXPERIMENTS-generated.md")
-    report.add_argument("--quick", action="store_true")
+    report = sub.add_parser(
+        "report",
+        help="metrics + critical-path report for a seeded run suite",
+    )
+    report.add_argument(
+        "output", nargs="?", default=None,
+        help="output path (default REPORT.md; EXPERIMENTS-generated.md "
+        "with --suite)",
+    )
+    report.add_argument(
+        "--quick", action="store_true", help="tiny single-run report (CI smoke)"
+    )
+    report.add_argument(
+        "--suite", action="store_true",
+        help="legacy suite-wide evaluation report instead",
+    )
+    report.add_argument(
+        "--protocol", choices=["icc0", "icc1", "icc2"], default=None
+    )
+    report.add_argument("--n", type=int, default=None)
+    report.add_argument("--t", type=int, default=None)
+    report.add_argument("--delta", type=float, default=None)
+    report.add_argument("--rounds", type=int, default=None)
+    report.add_argument(
+        "--runs", type=int, default=None, help="seeded runs to aggregate"
+    )
+    report.add_argument("--seed", type=int, default=None, help="base seed")
+    report.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the run suite",
+    )
+    report.add_argument(
+        "--trace-dir", metavar="DIR", default=None,
+        help="keep traces and metrics.json here (temp dir otherwise)",
+    )
+    report.add_argument(
+        "--load", action="store_true",
+        help="render from an existing --trace-dir without simulating",
+    )
+    report.add_argument(
+        "--html", action="store_true", help="write self-contained HTML"
+    )
     report.set_defaults(func=_cmd_report)
 
     bench = sub.add_parser(

@@ -1,0 +1,268 @@
+"""Causal critical-path reconstruction from trace events.
+
+Given a trace (a list of :class:`repro.obs.TraceEvent`, live or loaded
+via :func:`repro.obs.read_jsonl`), rebuild the causal chain that gates
+each finalized height and attribute its latency to protocol stages:
+
+* ``propose_wait``          — round entered -> winning block proposed
+* ``gossip_transit``        — proposal -> quorum-th notarization share cast
+* ``notarization_quorum``   — quorum-th share cast -> first notarization
+                              assembled (``icc.round.done``)
+* ``finalization_quorum``   — notarization -> first finalization combined
+
+Stage boundaries are taken from the earliest matching event and clamped
+to be monotone, so the per-height stage durations *telescope*: their sum
+is exactly the finalization latency ``first(icc.finalization) -
+first(icc.round.enter)`` for that height.  Reports lean on this identity
+(it is also asserted in the test-suite).
+
+Baseline protocols (PBFT / HotStuff / Tendermint) commit batches rather
+than notarize blocks; :func:`baseline_paths` reconstructs their simpler
+two-stage path (``propose_wait`` then ``commit_quorum``) under the same
+telescoping rule.
+
+Everything here is pure post-processing: it never touches a live
+simulation and works identically on in-memory events and JSONL files.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+#: Stage names of an ICC critical path, in causal order.
+ICC_STAGES = (
+    "propose_wait",
+    "gossip_transit",
+    "notarization_quorum",
+    "finalization_quorum",
+)
+
+#: Stage names of a baseline (PBFT/HotStuff/Tendermint) critical path.
+BASELINE_STAGES = ("propose_wait", "commit_quorum")
+
+_BASELINE_PROPOSE_KINDS = {
+    "pbft.propose",
+    "hotstuff.propose",
+    "tendermint.propose",
+}
+
+
+@dataclass(frozen=True)
+class Span:
+    """One stage of a critical path: a named, half-open time interval."""
+
+    stage: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The causal chain gating one finalized height."""
+
+    protocol: str
+    round: int
+    block: str | None
+    spans: tuple[Span, ...]
+
+    @property
+    def entered(self) -> float:
+        return self.spans[0].start
+
+    @property
+    def finalized(self) -> float:
+        return self.spans[-1].end
+
+    @property
+    def total(self) -> float:
+        """Sum of stage durations == finalized - entered (telescoping)."""
+        return sum(span.duration for span in self.spans)
+
+    def stage(self, name: str) -> Span:
+        for span in self.spans:
+            if span.stage == name:
+                return span
+        raise KeyError(name)
+
+
+def _spans_from_boundaries(names, boundaries) -> tuple[Span, ...]:
+    """Clamp boundaries monotone and pair them into telescoping spans."""
+    clamped = []
+    previous = boundaries[0]
+    for value in boundaries:
+        previous = max(previous, value)
+        clamped.append(previous)
+    return tuple(
+        Span(stage=name, start=clamped[i], end=clamped[i + 1])
+        for i, name in enumerate(names)
+    )
+
+
+def critical_paths(events, quorum: int | None = None) -> list[CriticalPath]:
+    """Reconstruct the critical path of every finalized ICC height.
+
+    ``quorum`` is the notarization quorum ``n - t``; when None it is
+    inferred as the number of distinct parties that entered rounds (the
+    fault-free ``n``, i.e. ``t = 0`` is assumed).  Rounds that never
+    finalized within the trace are skipped.
+    """
+    entered: dict[int, float] = {}
+    finalized: dict[int, tuple[float, str | None]] = {}
+    notarized: dict[int, float] = {}
+    proposed: dict[tuple[int, str], float] = {}
+    shares: dict[tuple[int, str], list[float]] = defaultdict(list)
+    parties: set[int] = set()
+    protocols: dict[int, str] = {}
+
+    for event in events:
+        kind = event.kind
+        if not kind.startswith("icc."):
+            continue
+        rnd = event.round
+        if rnd is None:
+            continue
+        if kind == "icc.round.enter":
+            parties.add(event.party)
+            protocols.setdefault(rnd, event.protocol)
+            if rnd not in entered or event.time < entered[rnd]:
+                entered[rnd] = event.time
+        elif kind == "icc.block.proposed" or kind == "icc.block.echoed":
+            block = event.payload.get("block")
+            key = (rnd, block)
+            if key not in proposed or event.time < proposed[key]:
+                proposed[key] = event.time
+        elif kind == "icc.share.notarization":
+            shares[(rnd, event.payload.get("block"))].append(event.time)
+        elif kind == "icc.round.done":
+            if rnd not in notarized or event.time < notarized[rnd]:
+                notarized[rnd] = event.time
+        elif kind == "icc.finalization":
+            if rnd not in finalized or event.time < finalized[rnd][0]:
+                finalized[rnd] = (event.time, event.payload.get("block"))
+
+    if quorum is None:
+        quorum = max(len(parties), 1)
+
+    paths: list[CriticalPath] = []
+    for rnd in sorted(finalized):
+        if rnd not in entered:
+            continue  # truncated trace: the round's start fell off the ring
+        t_enter = entered[rnd]
+        t_final, block = finalized[rnd]
+        t_notarized = notarized.get(rnd, t_final)
+        t_propose = proposed.get((rnd, block), t_enter)
+        cast_times = sorted(shares.get((rnd, block), ()))
+        if cast_times:
+            # The quorum-completing share was necessarily cast before the
+            # notarization it enabled was assembled.
+            t_quorum = min(
+                cast_times[min(quorum, len(cast_times)) - 1], t_notarized
+            )
+        else:
+            t_quorum = t_notarized
+        spans = _spans_from_boundaries(
+            ICC_STAGES,
+            (t_enter, t_propose, t_quorum, t_notarized, t_final),
+        )
+        paths.append(
+            CriticalPath(
+                protocol=protocols.get(rnd, "icc"),
+                round=rnd,
+                block=block,
+                spans=spans,
+            )
+        )
+    return paths
+
+
+def baseline_paths(events) -> list[CriticalPath]:
+    """Critical paths of baseline commits (PBFT/HotStuff/Tendermint).
+
+    Two stages per height: ``propose_wait`` (previous height's first
+    commit — or the first observed propose — to this height's proposal)
+    and ``commit_quorum`` (proposal to first commit).
+    """
+    proposed: dict[int, float] = {}
+    committed: dict[int, tuple[float, str | None]] = {}
+    protocols: dict[int, str] = {}
+
+    for event in events:
+        rnd = event.round
+        if rnd is None:
+            continue
+        if event.kind in _BASELINE_PROPOSE_KINDS:
+            protocols.setdefault(rnd, event.protocol)
+            if rnd not in proposed or event.time < proposed[rnd]:
+                proposed[rnd] = event.time
+        elif event.kind == "baseline.commit":
+            protocols.setdefault(rnd, event.protocol)
+            block = event.payload.get("batch")
+            if rnd not in committed or event.time < committed[rnd][0]:
+                committed[rnd] = (event.time, block)
+
+    paths: list[CriticalPath] = []
+    previous_commit: float | None = None
+    for rnd in sorted(committed):
+        t_commit, block = committed[rnd]
+        t_propose = proposed.get(rnd, t_commit)
+        t_start = previous_commit if previous_commit is not None else t_propose
+        spans = _spans_from_boundaries(
+            BASELINE_STAGES, (t_start, t_propose, t_commit)
+        )
+        paths.append(
+            CriticalPath(
+                protocol=protocols.get(rnd, "baseline"),
+                round=rnd,
+                block=block,
+                spans=spans,
+            )
+        )
+        previous_commit = t_commit
+    return paths
+
+
+def stage_totals(paths) -> dict[str, float]:
+    """Total time attributed to each stage across all paths."""
+    totals: dict[str, float] = {}
+    for path in paths:
+        for span in path.spans:
+            totals[span.stage] = totals.get(span.stage, 0.0) + span.duration
+    return totals
+
+
+def stage_means(paths) -> dict[str, float]:
+    """Mean per-height duration of each stage (empty dict for no paths)."""
+    if not paths:
+        return {}
+    count = len(paths)
+    return {name: total / count for name, total in stage_totals(paths).items()}
+
+
+def format_paths(paths) -> str:
+    """Render paths as an aligned text table (one row per height)."""
+    if not paths:
+        return "no finalized heights in trace"
+    stages = [span.stage for span in paths[0].spans]
+    header = ["round", "block", *stages, "total"]
+    rows = [header]
+    for path in paths:
+        rows.append(
+            [
+                str(path.round),
+                (path.block or "-")[:8],
+                *(f"{span.duration:.4f}" for span in path.spans),
+                f"{path.total:.4f}",
+            ]
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(widths[j]) for j, cell in enumerate(row)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

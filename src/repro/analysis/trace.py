@@ -239,6 +239,9 @@ class TraceSummary:
     commit_latency_mean: float | None
     messages_total: int
     adversary_events: int
+    #: Events the ring buffer discarded (from the trace.dropped summary
+    #: record that Tracer.export_events appends on overflow).
+    dropped: int = 0
 
 
 def summarize(events: Sequence[TraceEvent]) -> TraceSummary:
@@ -271,6 +274,11 @@ def summarize(events: Sequence[TraceEvent]) -> TraceSummary:
         adversary_events=sum(
             count for kind, count in kinds.items() if kind in ADVERSARY_KINDS
         ),
+        dropped=sum(
+            int(event.payload.get("dropped", 0))
+            for event in events
+            if event.kind == "trace.dropped"
+        ),
     )
 
 
@@ -287,6 +295,8 @@ def format_summary(summary: TraceSummary) -> str:
     if summary.commit_latency_mean is not None:
         lines.append(f"commit latency  {summary.commit_latency_mean:.3f}s mean")
     lines.append(f"messages        {summary.messages_total}")
+    if summary.dropped:
+        lines.append(f"DROPPED events  {summary.dropped} (ring buffer wrapped)")
     if summary.adversary_events:
         lines.append(f"adversary events {summary.adversary_events}")
     lines.append("event kinds:")

@@ -33,6 +33,8 @@ class BaselineClusterConfig:
     #: Optional :class:`repro.obs.Tracer`; installed on the Simulation
     #: *before* any party is built (parties cache ``sim.tracer``).
     tracer: object | None = None
+    #: Optional :class:`repro.obs.Meter`; same before-build rule.
+    meter: object | None = None
 
 
 class BaselineCluster:
@@ -94,6 +96,8 @@ def build_baseline_cluster(config: BaselineClusterConfig) -> BaselineCluster:
     sim = Simulation(seed=config.seed)
     if config.tracer is not None:
         sim.tracer = config.tracer  # before Network/parties: they cache it
+    if config.meter is not None:
+        sim.meter = config.meter
     delay_model = config.delay_model if config.delay_model is not None else FixedDelay(0.1)
     metrics = Metrics(n=config.n)
     network = Network(sim, config.n, delay_model, metrics)

@@ -50,6 +50,9 @@ class ClusterConfig:
     #: Optional :class:`repro.obs.Tracer`; installed on the Simulation
     #: *before* any party is built (parties cache ``sim.tracer``).
     tracer: object | None = None
+    #: Optional :class:`repro.obs.Meter` (counters/gauges/histograms);
+    #: installed on the Simulation under the same before-build rule.
+    meter: object | None = None
 
     def __post_init__(self) -> None:
         if len(self.corrupt) > self.t:
@@ -143,6 +146,8 @@ def build_cluster(config: ClusterConfig, sim: Simulation | None = None) -> Clust
         sim = Simulation(seed=config.seed)
     if config.tracer is not None:
         sim.tracer = config.tracer  # before Network/parties: they cache it
+    if config.meter is not None:
+        sim.meter = config.meter
     delay_model = config.delay_model if config.delay_model is not None else FixedDelay(0.1)
     metrics = Metrics(n=config.n)
     network = Network(sim, config.n, delay_model, metrics)

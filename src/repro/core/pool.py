@@ -38,7 +38,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 from ..crypto.keyring import Keyring
-from ..obs import NULL_TRACER
+from ..obs import NULL_METER, NULL_TRACER
 from . import messages as msg
 from .messages import (
     Authenticator,
@@ -82,6 +82,7 @@ class MessagePool:
         # Trace wiring (see repro.obs): the owning party binds its tracer
         # so verification drops and GC sweeps are attributable to a party.
         self._tracer = NULL_TRACER
+        self._meter = NULL_METER
         self._trace_sim = None
         self._trace_party = 0
         self._trace_protocol = "pool"
@@ -111,26 +112,35 @@ class MessagePool:
     def bind_tracing(self, tracer, sim, party: int, protocol: str) -> None:
         """Attach a trace sink (called by the owning party at construction)."""
         self._tracer = tracer
+        self._meter = sim.meter if sim is not None else NULL_METER
         self._trace_sim = sim
         self._trace_party = party
         self._trace_protocol = protocol
 
     def add(self, message: object) -> bool:
         """Verify and store a message; returns True if it changed the pool."""
-        if not self._tracer.enabled:
+        if not (self._tracer.enabled or self._meter.enabled):
             return self._add(message)
         before = self.stats.invalid_dropped
         changed = self._add(message)
         if self.stats.invalid_dropped > before:
-            self._tracer.emit(
-                time=self._trace_sim.now if self._trace_sim is not None else 0.0,
-                party=self._trace_party,
-                protocol=self._trace_protocol,
-                round=getattr(message, "round", None),
-                kind="pool.invalid",
-                payload={"artifact": type(message).__name__},
-            )
+            if self._meter.enabled:
+                self._meter.count(
+                    "pool.invalid", self.stats.invalid_dropped - before
+                )
+            if self._tracer.enabled:
+                self._emit_rejected(message)
         return changed
+
+    def _emit_rejected(self, message: object) -> None:
+        self._tracer.emit(
+            time=self._trace_sim.now if self._trace_sim is not None else 0.0,
+            party=self._trace_party,
+            protocol=self._trace_protocol,
+            round=getattr(message, "round", None),
+            kind="pool.invalid",
+            payload={"artifact": type(message).__name__},
+        )
 
     def _add(self, message: object) -> bool:
         if isinstance(message, Block):
@@ -276,6 +286,8 @@ class MessagePool:
     # -- deferred batch verification ---------------------------------------
 
     def _emit_invalid(self, artifact: object, round: int | None) -> None:
+        if self._meter.enabled:
+            self._meter.count("pool.invalid")
         if self._tracer.enabled:
             self._tracer.emit(
                 time=self._trace_sim.now if self._trace_sim is not None else 0.0,
@@ -287,6 +299,8 @@ class MessagePool:
             )
 
     def _emit_batch(self, scheme: str, stats) -> None:
+        if self._meter.enabled and stats.count:
+            self._meter.observe("crypto.batch.size", stats.count)
         if self._tracer.enabled:
             self._tracer.emit(
                 time=self._trace_sim.now if self._trace_sim is not None else 0.0,

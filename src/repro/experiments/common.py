@@ -103,7 +103,9 @@ def flush_pending_trace() -> str | None:
         return None
     tracer, path = _PENDING
     _PENDING = None
-    write_jsonl(tracer.events(), path)
+    # export_events() appends a trace.dropped summary event if the ring
+    # buffer wrapped, so truncation is visible in the file itself.
+    write_jsonl(tracer.export_events(), path)
     return path
 
 

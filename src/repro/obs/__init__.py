@@ -23,6 +23,18 @@ single branch per potential event when disabled.
 """
 
 from .export import read_jsonl, write_jsonl
+from .metrics import (
+    METRICS,
+    NULL_METER,
+    Histogram,
+    Meter,
+    MetricSpec,
+    NullMeter,
+    UnknownMetric,
+    format_meter,
+    merge_meters,
+    register_metric,
+)
 from .registry import EVENT_KINDS, EventKind, register
 from .tracer import (
     DEFAULT_CAPACITY,
@@ -38,13 +50,23 @@ __all__ = [
     "DEFAULT_CAPACITY",
     "EVENT_KINDS",
     "EventKind",
+    "Histogram",
+    "METRICS",
+    "Meter",
+    "MetricSpec",
+    "NULL_METER",
     "NULL_TRACER",
+    "NullMeter",
     "NullTracer",
     "TraceEvent",
     "Tracer",
     "UnknownEventKind",
+    "UnknownMetric",
+    "format_meter",
+    "merge_meters",
     "read_jsonl",
     "register",
+    "register_metric",
     "short_id",
     "write_jsonl",
 ]

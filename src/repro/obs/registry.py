@@ -39,6 +39,17 @@ def register(name: str, module: str, description: str, fields: tuple[str, ...] =
     return spec
 
 
+# -- tracer self-reporting ----------------------------------------------------
+
+register(
+    "trace.dropped", "repro.obs.tracer",
+    "Synthetic summary event appended by Tracer.export_events() when the "
+    "ring buffer evicted events: `dropped` of `emitted` events are missing "
+    "from this export (`capacity` is the ring size).  Always the last "
+    "event of a truncated export.",
+    ("dropped", "emitted", "capacity"),
+)
+
 # -- simulator ----------------------------------------------------------------
 
 register(

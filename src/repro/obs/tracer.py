@@ -22,6 +22,7 @@ schema.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
@@ -92,6 +93,7 @@ class Tracer:
         self._buffer: deque[TraceEvent] = deque(maxlen=capacity)
         self.capacity = capacity
         self.emitted = 0
+        self._drop_warned = False
 
     def emit(
         self,
@@ -119,6 +121,21 @@ class Tracer:
             )
         )
         self.emitted += 1
+        # First eviction: say so once, loudly — a silently truncated trace
+        # reads as a complete one to every downstream analysis.
+        if (
+            not self._drop_warned
+            and self.capacity is not None
+            and self.emitted > self.capacity
+        ):
+            self._drop_warned = True
+            warnings.warn(
+                f"trace ring buffer full (capacity {self.capacity}); oldest "
+                "events are being dropped — raise Tracer(capacity=...) or "
+                "export more often (exports carry a trace.dropped summary)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     # -- queries ---------------------------------------------------------------
 
@@ -139,9 +156,35 @@ class Tracer:
         """Events evicted by the ring buffer."""
         return self.emitted - len(self._buffer)
 
+    def export_events(self) -> list[TraceEvent]:
+        """Events for export: the buffer, plus a trailing ``trace.dropped``
+        summary event when the ring evicted anything — so a truncated
+        JSONL export is distinguishable from a complete one after reload
+        (``repro trace --input`` and the critical-path analysis surface
+        it)."""
+        events = list(self._buffer)
+        if self.dropped:
+            last_time = events[-1].time if events else 0.0
+            events.append(
+                TraceEvent(
+                    time=last_time,
+                    party=0,
+                    protocol="trace",
+                    round=None,
+                    kind="trace.dropped",
+                    payload={
+                        "dropped": self.dropped,
+                        "emitted": self.emitted,
+                        "capacity": self.capacity,
+                    },
+                )
+            )
+        return events
+
     def clear(self) -> None:
         self._buffer.clear()
         self.emitted = 0
+        self._drop_warned = False
 
 
 class NullTracer:
@@ -160,6 +203,9 @@ class NullTracer:
         pass
 
     def events(self, kind: str | None = None) -> list[TraceEvent]:  # noqa: D102
+        return []
+
+    def export_events(self) -> list[TraceEvent]:  # noqa: D102
         return []
 
     def __len__(self) -> int:

@@ -236,6 +236,11 @@ class Network:
                 kind="net.broadcast",
                 payload={"kind": message_kind(message), "bytes": size, "copies": self.n},
             )
+        meter = self.sim.meter
+        if meter.enabled:
+            meter.count("net.messages", self.n)
+            meter.count("net.bytes", size * (self.n - 1))
+            meter.observe("net.message.bytes", size)
         for receiver in range(1, self.n + 1):
             if receiver == sender:
                 self._deliver(sender, receiver, message)
@@ -259,6 +264,11 @@ class Network:
                 kind="net.send",
                 payload={"kind": message_kind(message), "bytes": size, "receiver": receiver},
             )
+        meter = self.sim.meter
+        if meter.enabled:
+            meter.count("net.messages")
+            meter.count("net.bytes", size)
+            meter.observe("net.message.bytes", size)
         sent_at = None
         if receiver != sender:
             sent_at = self._transmission_done_at(sender, size)
@@ -277,6 +287,11 @@ class Network:
                 payload={"kind": message_kind(message), "bytes": size,
                          "receivers": len(receivers)},
             )
+        meter = self.sim.meter
+        if meter.enabled:
+            meter.count("net.messages", len(receivers))
+            meter.count("net.bytes", size * len(receivers))
+            meter.observe("net.message.bytes", size)
         for receiver in receivers:
             self.metrics.on_send(sender, size, message_kind(message), round)
             sent_at = None

@@ -1,0 +1,107 @@
+"""End-to-end tests for ``python -m repro report`` (run_report)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.__main__ import main
+from repro.experiments import run_report
+from repro.obs import Meter
+
+
+class TestReportQuick:
+    def test_quick_report_writes_consistent_markdown(self, tmp_path, capsys):
+        output = tmp_path / "report.md"
+        trace_dir = tmp_path / "traces"
+        main([
+            "report", str(output), "--quick", "--trace-dir", str(trace_dir),
+        ])
+        assert "wrote" in capsys.readouterr().out
+        text = output.read_text()
+        # Section presence.
+        assert "# Run report" in text
+        assert "## Critical paths" in text
+        assert "## Message complexity vs theory" in text
+        assert "## Metrics" in text
+        assert "## Trace health" in text
+        # The telescoping consistency check must pass (not just render).
+        assert "OK" in text
+        assert "VIOLATED" not in text
+        # Metric names from the registry surface in the tables.
+        assert "`net.messages`" in text
+        assert "`icc.blocks.committed`" in text
+        # Theory bounds table reports within-worst-case.
+        assert "**no**" not in text
+        # Artifacts persist in the trace dir for --load.
+        assert (trace_dir / "metrics.json").exists()
+        assert (trace_dir / "results.json").exists()
+        assert any(
+            name.name.endswith(".jsonl") for name in trace_dir.iterdir()
+        )
+
+    def test_load_mode_rerenders_without_running(self, tmp_path, capsys):
+        output = tmp_path / "report.md"
+        trace_dir = tmp_path / "traces"
+        main([
+            "report", str(output), "--quick", "--trace-dir", str(trace_dir),
+        ])
+        first = output.read_text()
+        output2 = tmp_path / "reloaded.md"
+        main([
+            "report", str(output2), "--quick", "--load",
+            "--trace-dir", str(trace_dir),
+        ])
+        capsys.readouterr()
+        reloaded = output2.read_text()
+        # Same critical-path table either way (the traces are the source).
+        def section(text, title):
+            start = text.index(title)
+            return text[start : text.index("##", start + 1)]
+
+        assert section(first, "## Critical paths") == section(
+            reloaded, "## Critical paths"
+        )
+        assert section(first, "## Metrics") == section(reloaded, "## Metrics")
+
+    def test_html_output_is_selfcontained(self, tmp_path, capsys):
+        output = tmp_path / "report.html"
+        main(["report", str(output), "--quick", "--html"])
+        capsys.readouterr()
+        html = output.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<table>" in html
+        assert "Critical paths" in html
+        assert "</body></html>" in html
+
+
+class TestReportInternals:
+    def test_merged_metrics_json_is_valid_meter(self, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        main([
+            "report", str(tmp_path / "r.md"), "--quick",
+            "--trace-dir", str(trace_dir),
+        ])
+        capsys.readouterr()
+        meter = Meter.read_json(str(trace_dir / "metrics.json"))
+        assert meter.counter_value("net.messages") > 0
+        results = json.loads((trace_dir / "results.json").read_text())
+        assert results[0]["rounds_committed"] >= 1
+
+    def test_executor_returns_picklable_row(self):
+        row = run_report.run_traced(
+            protocol="icc0", n=4, t=1, delta=0.05, rounds=3, seed=1
+        )
+        assert row["rounds_committed"] >= 3
+        assert row["messages_sent"] > 0
+        restored = Meter.from_dict(row["meter"])
+        assert restored.counter_value("icc.blocks.committed") > 0
+        # Must survive the multiprocessing boundary.
+        import pickle
+
+        assert pickle.loads(pickle.dumps(row)) == row
+
+    def test_to_html_escapes_and_converts(self):
+        markdown = "# T\n\n| a | b |\n| --- | --- |\n| 1 | `x<y` |\n"
+        html = run_report.to_html(markdown)
+        assert "<h1>T</h1>" in html
+        assert "<code>x&lt;y</code>" in html

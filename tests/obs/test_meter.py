@@ -1,0 +1,144 @@
+"""Unit tests for the metric layer (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.obs import (
+    METRICS,
+    NULL_METER,
+    Histogram,
+    Meter,
+    NullMeter,
+    UnknownMetric,
+    format_meter,
+    merge_meters,
+)
+from repro.obs.metrics import LATENCY_BUCKETS, MetricKindMismatch
+
+
+class TestRegistry:
+    def test_registry_is_populated_and_specs_are_complete(self):
+        assert "net.messages" in METRICS
+        assert "icc.commit.latency" in METRICS
+        for name, spec in METRICS.items():
+            assert spec.name == name
+            assert spec.kind in ("counter", "gauge", "histogram")
+            assert spec.description
+            if spec.kind == "histogram":
+                assert spec.buckets, f"{name} has no buckets"
+                assert list(spec.buckets) == sorted(spec.buckets)
+
+    def test_unknown_names_are_rejected(self):
+        meter = Meter()
+        with pytest.raises(UnknownMetric):
+            meter.count("no.such.metric")
+        with pytest.raises(UnknownMetric):
+            meter.gauge("no.such.metric", 1.0)
+        with pytest.raises(UnknownMetric):
+            meter.observe("no.such.metric", 1.0)
+
+    def test_kind_mismatch_is_rejected(self):
+        meter = Meter()
+        with pytest.raises(MetricKindMismatch):
+            meter.count("sim.duration")  # gauge, not counter
+        with pytest.raises(MetricKindMismatch):
+            meter.observe("net.messages", 1.0)  # counter, not histogram
+
+
+class TestMeter:
+    def test_counters_accumulate(self):
+        meter = Meter()
+        meter.count("net.messages")
+        meter.count("net.messages", 4)
+        assert meter.counter_value("net.messages") == 5
+        assert meter.counter_value("net.bytes") == 0
+
+    def test_gauges_keep_last_value(self):
+        meter = Meter()
+        meter.gauge("sim.duration", 1.0)
+        meter.gauge("sim.duration", 2.5)
+        assert meter.gauge_value("sim.duration") == 2.5
+
+    def test_histograms_bucket_and_summarize(self):
+        meter = Meter()
+        for value in (0.01, 0.02, 0.3, 5.0, 100.0):
+            meter.observe("icc.commit.latency", value)
+        hist = meter.histogram("icc.commit.latency")
+        assert hist.count == 5
+        assert hist.min == 0.01
+        assert hist.max == 100.0
+        assert abs(hist.total - 105.33) < 1e-9
+        # 100.0 exceeds the last bound -> overflow bucket.
+        assert hist.counts[-1] == 1
+        assert sum(hist.counts) == hist.count
+
+    def test_json_round_trip(self):
+        meter = Meter()
+        meter.count("net.messages", 7)
+        meter.gauge("sim.duration", 3.5)
+        meter.observe("icc.commit.latency", 0.15)
+        buffer = io.StringIO()
+        meter.write_json(buffer)
+        buffer.seek(0)
+        restored = Meter.read_json(buffer)
+        assert restored.to_dict() == meter.to_dict()
+
+    def test_merge_sums_counters_maxes_gauges_adds_buckets(self):
+        a, b = Meter(), Meter()
+        a.count("net.messages", 3)
+        b.count("net.messages", 4)
+        a.gauge("sim.duration", 5.0)
+        b.gauge("sim.duration", 2.0)
+        a.observe("icc.commit.latency", 0.1)
+        b.observe("icc.commit.latency", 0.2)
+        merged = merge_meters([a, b])
+        assert merged.counter_value("net.messages") == 7
+        assert merged.gauge_value("sim.duration") == 5.0
+        hist = merged.histogram("icc.commit.latency")
+        assert hist.count == 2
+        assert hist.min == 0.1 and hist.max == 0.2
+
+    def test_format_meter_is_stable_text(self):
+        meter = Meter()
+        meter.count("net.messages", 2)
+        text = format_meter(meter)
+        assert "net.messages" in text
+        assert "2" in text
+
+
+class TestHistogram:
+    def test_merge_requires_same_buckets(self):
+        a = Histogram(bounds=LATENCY_BUCKETS)
+        b = Histogram(bounds=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_dict_round_trip(self):
+        hist = Histogram(bounds=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(3.0)
+        restored = Histogram.from_dict(hist.as_dict())
+        assert restored.bounds == hist.bounds
+        assert restored.counts == hist.counts
+        assert restored.min == 0.5 and restored.max == 3.0
+
+
+class TestNullMeter:
+    def test_noop_accepts_everything_cheaply(self):
+        assert not NULL_METER.enabled
+        assert not bool(NULL_METER)
+        NULL_METER.count("anything.at.all")
+        NULL_METER.gauge("whatever", 1.0)
+        NULL_METER.observe("whatever", 1.0)
+        assert NULL_METER.names() == []
+        assert isinstance(NULL_METER, NullMeter)
+
+    def test_real_meter_is_enabled_and_truthy_once_used(self):
+        meter = Meter()
+        assert meter.enabled
+        assert not bool(meter)  # truthiness means "has data"
+        meter.count("net.messages")
+        assert bool(meter)

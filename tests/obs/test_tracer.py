@@ -41,8 +41,11 @@ class TestTracer:
 
     def test_ring_buffer_evicts_oldest(self):
         tracer = Tracer(capacity=3)
-        for i in range(5):
+        for i in range(3):
             emit(tracer, time=float(i))
+        with pytest.warns(RuntimeWarning, match="ring buffer full"):
+            emit(tracer, time=3.0)
+        emit(tracer, time=4.0)  # warns once, not per eviction
         assert len(tracer) == 3
         assert tracer.emitted == 5
         assert tracer.dropped == 2

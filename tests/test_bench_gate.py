@@ -1,0 +1,181 @@
+"""Unit tests for tools/bench_gate.py (pure gate functions + CLI)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_gate",
+    os.path.join(os.path.dirname(__file__), "..", "tools", "bench_gate.py"),
+)
+bench_gate = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_gate)
+
+
+def crypto_report(speedups: dict[str, float]) -> dict:
+    return {
+        "benchmark": "crypto fast path",
+        "results": [
+            {"primitive": name, "speedup": value}
+            for name, value in speedups.items()
+        ],
+    }
+
+
+def runner_report(speedup, cores=4, disk=6.0, identical=True) -> dict:
+    return {
+        "benchmark": "experiment-runner",
+        "cores": cores,
+        "speedup": speedup,
+        "results_identical": identical,
+        "setup_cache": {"speedup_disk": disk},
+    }
+
+
+class TestGateCrypto:
+    def test_within_tolerance_passes(self):
+        committed = crypto_report({"schnorr": 10.0, "dleq": 3.4})
+        fresh = crypto_report({"schnorr": 8.0, "dleq": 3.0})
+        assert bench_gate.gate_crypto(committed, fresh, 0.25) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        committed = crypto_report({"schnorr": 10.0})
+        fresh = crypto_report({"schnorr": 7.0})
+        failures = bench_gate.gate_crypto(committed, fresh, 0.25)
+        assert len(failures) == 1
+        assert "schnorr" in failures[0]
+
+    def test_improvement_always_passes(self):
+        committed = crypto_report({"schnorr": 10.0})
+        fresh = crypto_report({"schnorr": 25.0})
+        assert bench_gate.gate_crypto(committed, fresh, 0.25) == []
+
+    def test_missing_primitive_fails(self):
+        committed = crypto_report({"schnorr": 10.0, "dleq": 3.4})
+        fresh = crypto_report({"schnorr": 10.0})
+        failures = bench_gate.gate_crypto(committed, fresh, 0.25)
+        assert any("dleq" in f and "missing" in f for f in failures)
+
+    def test_batch_slower_than_single_fails_regardless_of_baseline(self):
+        committed = crypto_report({"schnorr": 0.9})
+        fresh = crypto_report({"schnorr": 0.9})
+        failures = bench_gate.gate_crypto(committed, fresh, 0.25)
+        assert any("slower than single" in f for f in failures)
+
+
+class TestGateRunner:
+    def test_within_tolerance_passes(self):
+        committed = runner_report(2.0)
+        fresh = runner_report(1.6)
+        assert bench_gate.gate_runner(committed, fresh, 0.25) == []
+
+    def test_speedup_regression_fails(self):
+        committed = runner_report(2.0)
+        fresh = runner_report(1.0)
+        failures = bench_gate.gate_runner(committed, fresh, 0.25)
+        assert any("runner.speedup" in f for f in failures)
+
+    def test_skipped_legs_gate_nothing(self):
+        committed = runner_report("skipped", cores=1)
+        fresh = runner_report("skipped", cores=1)
+        assert bench_gate.gate_runner(committed, fresh, 0.25) == []
+        # Mixed: committed numeric, fresh skipped (moved to 1-core CI).
+        assert bench_gate.gate_runner(runner_report(2.0), fresh, 0.25) == []
+
+    def test_nonidentical_results_fail(self):
+        failures = bench_gate.gate_runner(
+            runner_report(2.0), runner_report(2.0, identical=False), 0.25
+        )
+        assert any("differ" in f for f in failures)
+
+    def test_setup_cache_regression_fails(self):
+        failures = bench_gate.gate_runner(
+            runner_report(2.0, disk=6.0), runner_report(2.0, disk=2.0), 0.25
+        )
+        assert any("setup_cache" in f for f in failures)
+
+
+class TestAuditSnapshot:
+    def test_single_core_numeric_speedup_is_nonsense(self):
+        failures = bench_gate.audit_snapshot(runner_report(0.683, cores=1))
+        assert failures and "cores=1" in failures[0]
+
+    def test_single_core_skipped_is_fine(self):
+        assert bench_gate.audit_snapshot(runner_report("skipped", cores=1)) == []
+
+    def test_multicore_numeric_is_fine(self):
+        assert bench_gate.audit_snapshot(runner_report(2.0, cores=4)) == []
+
+
+class TestCommittedSnapshots:
+    def test_committed_runner_snapshot_is_sane(self):
+        with open(bench_gate.RUNNER_BASELINE, encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert bench_gate.audit_snapshot(report) == []
+
+    def test_committed_crypto_snapshot_has_speedups_above_one(self):
+        with open(bench_gate.CRYPTO_BASELINE, encoding="utf-8") as handle:
+            report = json.load(handle)
+        for row in report["results"]:
+            assert row["speedup"] >= 1.0, row
+
+
+class TestMain:
+    def _write(self, path, data):
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_main_passes_on_fresh_files(self, tmp_path, capsys):
+        status = bench_gate.main([
+            "--tolerance", "0.25",
+            "--crypto-baseline",
+            self._write(tmp_path / "cb.json", crypto_report({"schnorr": 10.0})),
+            "--crypto-fresh",
+            self._write(tmp_path / "cf.json", crypto_report({"schnorr": 9.0})),
+            "--runner-baseline",
+            self._write(tmp_path / "rb.json", runner_report(2.0)),
+            "--runner-fresh",
+            self._write(tmp_path / "rf.json", runner_report(1.8)),
+        ])
+        assert status == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_main_fails_on_regression(self, tmp_path, capsys):
+        status = bench_gate.main([
+            "--crypto-baseline",
+            self._write(tmp_path / "cb.json", crypto_report({"schnorr": 10.0})),
+            "--crypto-fresh",
+            self._write(tmp_path / "cf.json", crypto_report({"schnorr": 2.0})),
+            "--skip-runner",
+        ])
+        assert status == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_update_rewrites_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "cb.json"
+        self._write(baseline, crypto_report({"schnorr": 10.0}))
+        fresh = crypto_report({"schnorr": 12.0})
+        status = bench_gate.main([
+            "--crypto-baseline", str(baseline),
+            "--crypto-fresh", self._write(tmp_path / "cf.json", fresh),
+            "--skip-runner", "--update",
+        ])
+        assert status == 0
+        assert json.loads(baseline.read_text()) == fresh
+
+    def test_update_refuses_nonsense_runner_snapshot(self, tmp_path, capsys):
+        baseline = tmp_path / "rb.json"
+        self._write(baseline, runner_report(2.0))
+        bad = runner_report(0.683, cores=1)
+        status = bench_gate.main([
+            "--runner-baseline", str(baseline),
+            "--runner-fresh", self._write(tmp_path / "rf.json", bad),
+            "--skip-crypto", "--update",
+        ])
+        assert status == 1
+        assert json.loads(baseline.read_text()) == runner_report(2.0)

@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Bench regression gate: committed snapshots vs a fresh quick run.
+
+The repository commits two benchmark snapshots — ``BENCH_crypto.json``
+(crypto fast path, written by ``python -m repro bench --json``) and
+``BENCH_runner.json`` (experiment runner, ``python -m repro bench-runner
+--json``).  This gate re-runs both benchmarks in ``--quick`` mode and
+compares the *ratio* metrics (batch-verification speedups, runner
+speedup, setup-cache speedup) against the committed values with a
+relative tolerance band.  Absolute throughput is machine-dependent and
+is never gated; ratios of two timings on the same machine are what the
+snapshots actually promise.
+
+Usage::
+
+    python tools/bench_gate.py [--tolerance 0.25] [--update]
+        [--crypto-baseline PATH] [--runner-baseline PATH]
+        [--crypto-fresh PATH] [--runner-fresh PATH]
+
+Passing ``--*-fresh`` files skips running that benchmark (useful for
+tests and for gating artifacts produced elsewhere in CI).  ``--update``
+rewrites the committed snapshots from the fresh results instead of
+failing, for intentional performance changes.
+
+Exit status 0 = within tolerance, 1 = regression (or malformed input).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CRYPTO_BASELINE = os.path.join(ROOT, "BENCH_crypto.json")
+RUNNER_BASELINE = os.path.join(ROOT, "BENCH_runner.json")
+
+#: Default relative tolerance: fresh ratio may be this fraction below
+#: the committed one before the gate fails.  Improvements never fail.
+DEFAULT_TOLERANCE = 0.25
+
+
+def _ratio_check(name: str, committed, fresh, tolerance: float) -> list[str]:
+    """Compare one ratio metric; returns failure messages (empty = ok)."""
+    if committed in (None, "skipped") or fresh in (None, "skipped"):
+        # A leg legitimately skipped (e.g. the runner's parallel pass on
+        # a single-core machine) gates nothing.
+        return []
+    try:
+        committed_f, fresh_f = float(committed), float(fresh)
+    except (TypeError, ValueError):
+        return [f"{name}: non-numeric values ({committed!r} vs {fresh!r})"]
+    floor = committed_f * (1.0 - tolerance)
+    if fresh_f < floor:
+        return [
+            f"{name}: fresh {fresh_f:.3g} below committed {committed_f:.3g} "
+            f"- {tolerance:.0%} tolerance (floor {floor:.3g})"
+        ]
+    return []
+
+
+def gate_crypto(committed: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Failures for the crypto fast-path snapshot (speedup per primitive)."""
+    failures: list[str] = []
+    committed_rows = {
+        row.get("primitive"): row for row in committed.get("results", ())
+    }
+    fresh_rows = {row.get("primitive"): row for row in fresh.get("results", ())}
+    for primitive, row in sorted(committed_rows.items()):
+        if primitive not in fresh_rows:
+            failures.append(f"crypto[{primitive}]: missing from fresh run")
+            continue
+        failures += _ratio_check(
+            f"crypto[{primitive}].speedup",
+            row.get("speedup"),
+            fresh_rows[primitive].get("speedup"),
+            tolerance,
+        )
+        fresh_speedup = fresh_rows[primitive].get("speedup")
+        if isinstance(fresh_speedup, (int, float)) and fresh_speedup < 1.0:
+            failures.append(
+                f"crypto[{primitive}]: batch slower than single "
+                f"(speedup {fresh_speedup:.3g} < 1)"
+            )
+    return failures
+
+
+def gate_runner(committed: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Failures for the runner snapshot (parallel + setup-cache ratios)."""
+    failures: list[str] = []
+    if fresh.get("results_identical") is False:
+        failures.append("runner: parallel results differ from serial")
+    failures += _ratio_check(
+        "runner.speedup",
+        committed.get("speedup"),
+        fresh.get("speedup"),
+        tolerance,
+    )
+    committed_cache = committed.get("setup_cache", {})
+    fresh_cache = fresh.get("setup_cache", {})
+    failures += _ratio_check(
+        "runner.setup_cache.speedup_disk",
+        committed_cache.get("speedup_disk"),
+        fresh_cache.get("speedup_disk"),
+        tolerance,
+    )
+    return failures
+
+
+def audit_snapshot(report: dict) -> list[str]:
+    """Sanity-check a runner snapshot for internally nonsensical data.
+
+    Guards against re-committing the regression this gate was built
+    after: a ``cores: 1`` snapshot carrying a sub-1 parallel "speedup"
+    measured by time-slicing a single core.
+    """
+    failures: list[str] = []
+    cores = report.get("cores")
+    speedup = report.get("speedup")
+    if cores == 1 and isinstance(speedup, (int, float)):
+        failures.append(
+            f"runner snapshot: cores=1 but numeric speedup {speedup} — "
+            "single-core machines must record the parallel leg as skipped"
+        )
+    return failures
+
+
+def _run_fresh_crypto() -> dict:
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    import tempfile
+
+    from repro.experiments import crypto_bench
+
+    with tempfile.NamedTemporaryFile("r", suffix=".json") as handle:
+        status = crypto_bench.main(
+            ["--quick", "--seed", "0", "--json", handle.name]
+        )
+        if status:
+            raise SystemExit(f"fresh crypto bench failed with status {status}")
+        handle.seek(0)
+        return json.load(handle)
+
+
+def _run_fresh_runner() -> dict:
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    import tempfile
+
+    from repro.experiments import runner_bench
+
+    with tempfile.NamedTemporaryFile("r", suffix=".json") as handle:
+        status = runner_bench.main(["--quick", "--json", handle.name])
+        if status:
+            raise SystemExit(f"fresh runner bench failed with status {status}")
+        handle.seek(0)
+        return json.load(handle)
+
+
+def _load(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _write(path: str, report: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="relative slack below committed ratios")
+    parser.add_argument("--crypto-baseline", default=CRYPTO_BASELINE)
+    parser.add_argument("--runner-baseline", default=RUNNER_BASELINE)
+    parser.add_argument("--crypto-fresh", default=None,
+                        help="use this JSON instead of running the bench")
+    parser.add_argument("--runner-fresh", default=None,
+                        help="use this JSON instead of running the bench")
+    parser.add_argument("--skip-crypto", action="store_true")
+    parser.add_argument("--skip-runner", action="store_true")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite committed snapshots from fresh results")
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+
+    if not args.skip_crypto:
+        committed = _load(args.crypto_baseline)
+        fresh = (
+            _load(args.crypto_fresh)
+            if args.crypto_fresh
+            else _run_fresh_crypto()
+        )
+        if args.update:
+            _write(args.crypto_baseline, fresh)
+            print(f"updated {args.crypto_baseline}")
+        else:
+            failures += gate_crypto(committed, fresh, args.tolerance)
+
+    if not args.skip_runner:
+        committed = _load(args.runner_baseline)
+        fresh = (
+            _load(args.runner_fresh)
+            if args.runner_fresh
+            else _run_fresh_runner()
+        )
+        failures += audit_snapshot(fresh)
+        if args.update:
+            if not audit_snapshot(fresh):
+                _write(args.runner_baseline, fresh)
+                print(f"updated {args.runner_baseline}")
+        else:
+            failures += audit_snapshot(committed)
+            failures += gate_runner(committed, fresh, args.tolerance)
+
+    if failures:
+        print("bench gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"bench gate passed (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,7 +15,10 @@ Checks every ``*.md`` file in the repo root and ``docs/``:
 * every ``python -m repro`` subcommand registered in
   ``src/repro/__main__.py`` is documented in the README (the parser is
   scanned textually — no import — so the check runs without the package
-  installed).
+  installed);
+* every metric name registered in ``src/repro/obs/metrics.py`` is
+  documented in ``docs/OBSERVABILITY.md`` (same textual scan, no
+  import).
 
 Exit status 0 when clean, 1 with one line per problem otherwise.  CI runs
 this plus the test-suite; ``tests/test_docs.py`` runs it in-process.
@@ -112,6 +115,36 @@ def check_cli_docs(problems: list[str]) -> None:
             )
 
 
+#: ``register_metric("name", ...)`` declarations in the metrics module.
+METRIC_RE = re.compile(r"""register_metric\(\s*\n?\s*["']([a-z0-9_.]+)["']""")
+
+
+def registered_metrics() -> list[str]:
+    """Metric names registered in ``src/repro/obs/metrics.py``."""
+    metrics = REPO / "src" / "repro" / "obs" / "metrics.py"
+    if not metrics.is_file():
+        return []
+    return sorted(set(METRIC_RE.findall(metrics.read_text(encoding="utf-8"))))
+
+
+def check_metric_docs(problems: list[str]) -> None:
+    """Every registered metric must appear backticked in OBSERVABILITY.md."""
+    doc = REPO / "docs" / "OBSERVABILITY.md"
+    if not doc.is_file():
+        if registered_metrics():
+            problems.append(
+                "docs/OBSERVABILITY.md: missing (cannot check metric docs)"
+            )
+        return
+    text = doc.read_text(encoding="utf-8")
+    for name in registered_metrics():
+        if f"`{name}`" not in text:
+            problems.append(
+                f"docs/OBSERVABILITY.md: metric {name!r} is undocumented "
+                f"(no `{name}` mention found)"
+            )
+
+
 def run() -> list[str]:
     problems: list[str] = []
     for path in doc_files():
@@ -119,6 +152,7 @@ def run() -> list[str]:
         check_fences(path, problems)
         check_tables(path, problems)
     check_cli_docs(problems)
+    check_metric_docs(problems)
     return problems
 
 
