@@ -10,6 +10,9 @@ Commands:
   print latency/message summaries — see ``docs/OBSERVABILITY.md``;
 * ``chaos``       — seeded fault-scenario sweep with safety/liveness
   invariant checking across the ICC variants — see ``docs/FAULTS.md``;
+* ``load``        — batched load harness: sweep offered load and chart the
+  throughput-vs-latency saturation curve at n=13/31/100 (``--bench`` for
+  the BENCH_load legs) — see ``docs/LOAD.md``;
 * ``bench``       — crypto fast-path benchmark (single vs batch verification
   throughput per primitive) — see ``docs/PERFORMANCE.md``;
 * ``bench-runner`` — experiment-suite wall-clock benchmark (serial vs
@@ -187,6 +190,26 @@ def _cmd_report(args: argparse.Namespace) -> None:
         sys.exit(status)
 
 
+def _cmd_load(args: argparse.Namespace) -> None:
+    from repro.experiments import load
+
+    argv = ["--ns", args.ns, "--loads", args.loads,
+            "--duration", str(args.duration), "--batch-max", str(args.batch_max),
+            "--auth", args.auth, "--seed", str(args.seed),
+            "--jobs", str(args.jobs)]
+    if args.bench:
+        argv.append("--bench")
+    if args.json is not None:
+        argv += ["--json", args.json]
+    if args.quick:
+        argv.append("--quick")
+    if args.check:
+        argv.append("--check")
+    status = load.main(argv)
+    if status:
+        sys.exit(status)
+
+
 def _cmd_bench(args: argparse.Namespace) -> None:
     from repro.experiments import crypto_bench
 
@@ -357,6 +380,43 @@ def main(argv: list[str] | None = None) -> None:
         "--html", action="store_true", help="write self-contained HTML"
     )
     report.set_defaults(func=_cmd_report)
+
+    load = sub.add_parser(
+        "load",
+        help="batched load harness: throughput-vs-latency saturation sweep",
+    )
+    load.add_argument(
+        "--ns", default=",".join(str(n) for n in (13, 31, 100)),
+        help="comma-separated subnet sizes to sweep",
+    )
+    load.add_argument(
+        "--loads", default="250,1000,2000,4000",
+        help="comma-separated offered loads (requests/second)",
+    )
+    load.add_argument("--duration", type=float, default=4.0,
+                      help="arrival window per point (simulated seconds)")
+    load.add_argument("--batch-max", type=int, default=256,
+                      help="load requests packed per block")
+    load.add_argument("--auth", choices=["fast", "real"], default="fast",
+                      help="client authenticator backend")
+    load.add_argument("--seed", type=int, default=1)
+    load.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (results identical at any N)",
+    )
+    load.add_argument(
+        "--bench", action="store_true",
+        help="run the BENCH_load legs instead of the sweep",
+    )
+    load.add_argument("--json", metavar="PATH", default=None,
+                      help="write the bench report as JSON (implies --bench)")
+    load.add_argument("--quick", action="store_true",
+                      help="short wall-clock timing windows (CI smoke)")
+    load.add_argument(
+        "--check", action="store_true",
+        help="with --bench: fail unless batching wins and request sets match",
+    )
+    load.set_defaults(func=_cmd_load)
 
     bench = sub.add_parser(
         "bench", help="crypto fast-path benchmark (single vs batch verification)"

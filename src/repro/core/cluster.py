@@ -43,6 +43,9 @@ class ClusterConfig:
     #: None, StandardDelays(delta_bound, epsilon) is used.
     protocol_delays: object | None = None
     payload_source: PayloadSource = empty_payload_source
+    #: Optional payload batch-admission hook installed on every party's
+    #: pool (see :attr:`repro.core.pool.MessagePool.payload_verifier`).
+    payload_verifier: Callable | None = None
     party_class: PartyFactory = ICC0Party
     #: index -> factory for corrupt parties; None entries mean crash-failure.
     corrupt: dict[int, PartyFactory | None] = dc_field(default_factory=dict)
@@ -183,6 +186,7 @@ def build_cluster(config: ClusterConfig, sim: Simulation | None = None) -> Clust
             **config.extra_party_kwargs,
         )
         party.pool.batch_verify = config.crypto_batch
+        party.pool.payload_verifier = config.payload_verifier
         parties.append(party)
         network.attach(party)
     for index, factory in config.corrupt.items():

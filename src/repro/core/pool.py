@@ -71,6 +71,14 @@ class MessagePool:
         self.n = keyring.n
         self.t = keyring.t
         self.batch_verify = batch_verify
+        #: Optional payload batch-admission hook: ``verifier(block) -> bool``.
+        #: Called once per *new* block; a False verdict drops the block as
+        #: invalid.  The load pipeline installs
+        #: :meth:`repro.workloads.batching.RequestBatcher.verify_block` here
+        #: to batch-authenticate client requests (memoized per block hash),
+        #: so a Byzantine proposer cannot smuggle forged requests into a
+        #: notarized block.  See ``ClusterConfig.payload_verifier``.
+        self.payload_verifier = None
         self.stats = PoolStats()
 
         # Shares whose structural checks passed but whose signature crypto
@@ -166,6 +174,9 @@ class MessagePool:
         h = block.hash
         if h in self.blocks:
             self.stats.duplicates += 1
+            return False
+        if self.payload_verifier is not None and not self.payload_verifier(block):
+            self.stats.invalid_dropped += 1
             return False
         self.blocks[h] = block
         self._blocks_by_round[block.round].add(h)

@@ -1,0 +1,371 @@
+"""The load harness: throughput-vs-latency saturation curves under batching.
+
+``python -m repro load`` sweeps offered load through the batched ingress
+pipeline (:mod:`repro.workloads.population` / :mod:`repro.workloads.batching`)
+at n = 13/31/100 and reports the saturation curve: goodput tracks offered
+load until block capacity (``batch_max`` requests every 2δ round), then
+flattens while latency climbs and admission control starts shedding — the
+scaling story docs/LOAD.md walks through.
+
+Two entry points share this module:
+
+* the **sweep** (default CLI mode, parallelized via
+  :mod:`repro.experiments.runner` with one ``load.run_point`` spec per
+  (n, offered) cell);
+* the **bench** (``--bench``), which backs the committed
+  ``BENCH_load.json`` snapshot gated by ``tools/bench_gate.py``:
+  a *deterministic, simulated* batching-gain leg (goodput with batching
+  vs a one-request-per-block baseline — simulation time, so the ratio is
+  bit-identical on every machine), a wall-clock batch-authentication leg
+  (RLC batch verify vs the per-item oracle, same shape as
+  ``crypto_bench``), and a batched-vs-unbatched request-set equality
+  check (order-insensitive digests must match).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass
+
+from ..core.cluster import ClusterConfig, build_cluster
+from ..sim.delays import FixedDelay
+from ..workloads.batching import BatchSpec, RequestBatcher
+from ..workloads.population import ClientPopulation, PopulationSpec
+from . import runner
+from .common import mean, percentile, print_table
+
+#: Default sweep shape: the paper's subnet sizes, offered loads chosen so
+#: the curve crosses block capacity (batch_max requests per 2δ round).
+DEFAULT_NS = (13, 31, 100)
+DEFAULT_LOADS = (250.0, 1000.0, 2000.0, 4000.0)
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One (n, offered load) measurement — plain data, picklable."""
+
+    n: int
+    offered: float  # requests/second the population generated
+    duration: float  # arrival window (seconds, simulated)
+    submitted: int  # admitted into the ingress queue
+    rejected: int  # shed by admission control
+    auth_invalid: int  # dropped by ingress batch authentication
+    committed: int  # finalized by consensus
+    goodput: float  # committed / duration (requests/second)
+    mean_latency: float  # seconds, arrival -> finalization
+    p99_latency: float
+    rounds: int  # rounds committed by the slowest honest party
+    auth_batches: int  # RLC batch-verification passes
+    queue_final: int  # requests still queued when the run ended
+    digest: str  # order-insensitive sha256 of the committed request set
+
+
+def run_point(
+    n: int = 13,
+    offered: float = 1000.0,
+    duration: float = 4.0,
+    drain: float = 1.5,
+    seed: int = 1,
+    batch_max: int = 256,
+    queue_cap: int = 100_000,
+    auth: str = "fast",
+    clients: int = 1000,
+    poisson: bool = False,
+    zipf_s: float = 1.1,
+    key_space: int = 5000,
+    payload_bytes: int = 96,
+    delta: float = 0.05,
+) -> LoadPoint:
+    """Measure one saturation-curve point (fully seeded, deterministic).
+
+    Arrivals run over ``[0, duration)``; the cluster then runs ``drain``
+    extra seconds so in-flight requests can finalize.  Goodput is
+    ``committed / duration`` — at saturation commits continue through the
+    drain window, so the flat part of the curve reads slightly above raw
+    block capacity; the *shape* (flatten + latency climb) is what the
+    sweep is for.  See docs/LOAD.md.
+    """
+    batcher = RequestBatcher(
+        BatchSpec(batch_max=batch_max, queue_cap=queue_cap, auth=auth), seed=seed
+    )
+    population = ClientPopulation(
+        PopulationSpec(
+            clients=clients,
+            mode="open",
+            rate_per_second=offered,
+            poisson=poisson,
+            zipf_s=zipf_s,
+            key_space=key_space,
+            payload_bytes=payload_bytes,
+        ),
+        batcher,
+        seed=seed,
+    )
+    config = ClusterConfig(
+        n=n,
+        t=(n - 1) // 3,
+        delta_bound=delta * 4,
+        epsilon=delta * 0.01,
+        seed=seed,
+        delay_model=FixedDelay(delta),
+        payload_source=batcher.payload_source,
+        payload_verifier=batcher.verify_block,
+    )
+    cluster = build_cluster(config)
+    batcher.bind(cluster)
+    population.install(cluster, duration)
+    cluster.start()
+    cluster.run_for(duration + drain)
+    cluster.check_safety()
+    latencies = batcher.latencies
+    return LoadPoint(
+        n=n,
+        offered=offered,
+        duration=duration,
+        submitted=batcher.submitted,
+        rejected=batcher.rejected,
+        auth_invalid=batcher.auth_invalid,
+        committed=batcher.completed,
+        goodput=round(batcher.completed / duration, 2),
+        mean_latency=round(mean(latencies), 6) if latencies else float("nan"),
+        p99_latency=round(percentile(latencies, 0.99), 6) if latencies else float("nan"),
+        rounds=cluster.min_committed_round(),
+        auth_batches=batcher.auth_batches,
+        queue_final=batcher.queue_depth,
+        digest=batcher.committed_digest(),
+    )
+
+
+def specs(
+    ns: tuple[int, ...] = DEFAULT_NS,
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+    duration: float = 4.0,
+    seed: int = 1,
+    batch_max: int = 256,
+    auth: str = "fast",
+) -> list[runner.RunSpec]:
+    """One RunSpec per (n, offered) saturation-curve cell."""
+    return [
+        runner.spec(
+            "load",
+            "load.run_point",
+            label=f"load-n{n}-r{int(offered)}",
+            n=n,
+            offered=offered,
+            duration=duration,
+            seed=seed,
+            batch_max=batch_max,
+            auth=auth,
+        )
+        for n in ns
+        for offered in loads
+    ]
+
+
+def tabulate(specs: list[runner.RunSpec], results: list[LoadPoint]) -> list[LoadPoint]:
+    rows = []
+    for r in results:
+        rows.append(
+            (
+                r.n,
+                f"{r.offered:.0f}/s",
+                r.submitted,
+                r.committed,
+                f"{r.goodput:.0f}/s",
+                r.rejected,
+                f"{r.mean_latency * 1000:.0f} ms",
+                f"{r.p99_latency * 1000:.0f} ms",
+                r.queue_final,
+            )
+        )
+    print_table(
+        "load: throughput vs latency under batched ingress "
+        "(goodput flattens at block capacity while latency climbs)",
+        ["n", "offered", "submitted", "committed", "goodput", "shed",
+         "mean lat", "p99 lat", "queued"],
+        rows,
+    )
+    return results
+
+
+# ---------------------------------------------------------------------- bench
+
+
+def _throughput(fn, items_per_call: int, min_seconds: float) -> float:
+    """Call ``fn`` until ``min_seconds`` elapse; return items/second."""
+    fn()  # warm-up: tables and memos populate outside the clock
+    calls = 0
+    start = time.perf_counter()
+    deadline = start + min_seconds
+    while True:
+        fn()
+        calls += 1
+        now = time.perf_counter()
+        if now >= deadline:
+            return calls * items_per_call / (now - start)
+
+
+#: Fixed config for the simulated bench legs.  Deliberately tiny — and
+#: deliberately *identical* in --quick and full runs: the legs measure
+#: simulation time, which is bit-identical on every machine, so the CI
+#: quick pass reproduces the committed numbers exactly.
+_SIM_LEG = dict(n=4, duration=2.0, drain=1.0, delta=0.05, payload_bytes=64)
+
+
+def bench(seed: int = 0, min_seconds: float = 0.4) -> dict:
+    """Produce the ``BENCH_load.json`` report (see module docstring)."""
+    # Leg 1 (simulated, deterministic): goodput with batching vs the
+    # one-request-per-block baseline at an offered load far above the
+    # baseline's capacity (1 request per 2δ round = 10/s here).
+    offered = 400.0
+    batched = run_point(offered=offered, seed=seed, batch_max=64, **_SIM_LEG)
+    unbatched = run_point(offered=offered, seed=seed, batch_max=1, **_SIM_LEG)
+    sim_leg = {
+        "offered_per_sec": offered,
+        "batched_goodput": batched.goodput,
+        "unbatched_goodput": unbatched.goodput,
+        "batching_gain": round(batched.goodput / unbatched.goodput, 2),
+    }
+
+    # Leg 2 (simulated, deterministic): batched and unbatched runs at a
+    # load both can finish must finalize the *same request set*.
+    low = 8.0
+    set_a = run_point(offered=low, seed=seed, batch_max=64, **_SIM_LEG)
+    set_b = run_point(offered=low, seed=seed, batch_max=1, **_SIM_LEG)
+    request_sets_match = (
+        set_a.digest == set_b.digest and set_a.committed == set_a.submitted
+    )
+
+    # Leg 3 (wall clock): batch authentication amortization — RLC batch
+    # verify of client Schnorr signatures vs the per-item oracle.
+    from ..crypto import fastpath
+    from ..crypto.api import verifiers_for
+    from ..workloads.batching import RealClientAuth, signed_message
+
+    auth = RealClientAuth(seed=seed, group_profile="test")
+    batch_size = 32
+    # Build the batch directly: one signed request per client.
+    items = []
+    for client in range(batch_size):
+        body = b"bench/load/%d" % client
+        sig = auth.sign(client, 0, client, body)
+        items.append((auth.public(client), signed_message(client, 0, client, body), auth._decode(sig)))
+    suite = verifiers_for(auth.group)
+    auth.warm(batch_size)
+
+    def single() -> None:
+        for pk, message, sig in items:
+            assert fastpath.verify_schnorr_single(auth.group, pk, message, sig)
+
+    def batch_fn() -> None:
+        assert all(suite.schnorr.verify_batch(items))
+
+    single_ops = _throughput(single, batch_size, min_seconds)
+    batch_ops = _throughput(batch_fn, batch_size, min_seconds)
+    auth_leg = {
+        "scheme": "schnorr (client request auth, profile=test)",
+        "batch_size": batch_size,
+        "single_ops_per_sec": round(single_ops, 1),
+        "batch_ops_per_sec": round(batch_ops, 1),
+        "speedup": round(batch_ops / single_ops, 2),
+    }
+
+    return {
+        "benchmark": "load pipeline: batched ingress vs per-request baseline",
+        "seed": seed,
+        "sim": sim_leg,
+        "auth": auth_leg,
+        "request_sets_match": request_sets_match,
+    }
+
+
+# ------------------------------------------------------------------------ CLI
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="python -m repro load")
+    parser.add_argument(
+        "--ns", default=",".join(str(n) for n in DEFAULT_NS),
+        help="comma-separated subnet sizes to sweep",
+    )
+    parser.add_argument(
+        "--loads", default=",".join(f"{r:.0f}" for r in DEFAULT_LOADS),
+        help="comma-separated offered loads (requests/second)",
+    )
+    parser.add_argument("--duration", type=float, default=2.0,
+                        help="arrival window per point (simulated seconds); "
+                             "n=100 points cost minutes of wall clock per "
+                             "simulated second on one core")
+    parser.add_argument("--batch-max", type=int, default=256,
+                        help="load requests packed per block")
+    parser.add_argument("--auth", choices=["fast", "real"], default="fast",
+                        help="client authenticator backend")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (results identical at any N)")
+    parser.add_argument("--bench", action="store_true",
+                        help="run the BENCH_load legs instead of the sweep")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the bench report as JSON (implies --bench)")
+    parser.add_argument("--quick", action="store_true",
+                        help="short wall-clock timing windows (CI smoke)")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="with --bench: fail unless batching wins and request sets match",
+    )
+    args = parser.parse_args(argv)
+
+    if args.bench or args.json is not None:
+        report = bench(seed=args.seed, min_seconds=0.05 if args.quick else 0.4)
+        sim, auth = report["sim"], report["auth"]
+        print(
+            f"simulated batching gain: {sim['batching_gain']:.2f}x "
+            f"({sim['batched_goodput']:.0f}/s batched vs "
+            f"{sim['unbatched_goodput']:.0f}/s unbatched at "
+            f"{sim['offered_per_sec']:.0f}/s offered)"
+        )
+        print(
+            f"batch auth speedup: {auth['speedup']:.2f}x "
+            f"({auth['batch_ops_per_sec']:.1f} vs "
+            f"{auth['single_ops_per_sec']:.1f} ops/s, "
+            f"batch={auth['batch_size']})"
+        )
+        print(f"request sets match: {report['request_sets_match']}")
+        if args.json is not None:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2)
+                handle.write("\n")
+            print(f"wrote {args.json}")
+        if args.check:
+            failures = []
+            if sim["batching_gain"] < 1.0:
+                failures.append("batching loses to the per-request baseline")
+            if auth["speedup"] < 1.0:
+                failures.append("batch authentication slower than per-item")
+            if not report["request_sets_match"]:
+                failures.append("batched and unbatched request sets differ")
+            if failures:
+                print("FAIL: " + "; ".join(failures), file=sys.stderr)
+                return 1
+        return 0
+
+    ns = tuple(int(x) for x in args.ns.split(",") if x.strip())
+    loads = tuple(float(x) for x in args.loads.split(",") if x.strip())
+    suite = specs(
+        ns=ns,
+        loads=loads,
+        duration=args.duration,
+        seed=args.seed,
+        batch_max=args.batch_max,
+        auth=args.auth,
+    )
+    tabulate(suite, runner.execute(suite, jobs=args.jobs))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -168,6 +168,41 @@ register_metric(
     unit="s", buckets=LATENCY_BUCKETS,
 )
 
+# -- load pipeline ------------------------------------------------------------
+
+register_metric(
+    "load.submitted", "counter", "repro.workloads.batching",
+    "Client requests accepted into the shared ingress queue (after batch "
+    "authentication, deduplication and admission control).",
+)
+register_metric(
+    "load.rejected", "counter", "repro.workloads.batching",
+    "Client requests shed by admission control (ingress queue at "
+    "queue_cap).",
+)
+register_metric(
+    "load.auth.invalid", "counter", "repro.workloads.batching",
+    "Client requests dropped at ingress because batch authentication "
+    "flagged them forged (isolated by RLC bisection).",
+)
+register_metric(
+    "load.committed", "counter", "repro.workloads.batching",
+    "Client requests finalized by consensus (observed on the first honest "
+    "party's commit stream).",
+)
+register_metric(
+    "load.latency", "histogram", "repro.workloads.batching",
+    "Per-request end-to-end latency: arrival at the ingress layer to "
+    "finalization on the observer party.",
+    unit="s", buckets=LATENCY_BUCKETS,
+)
+register_metric(
+    "load.batch.commands", "histogram", "repro.workloads.batching",
+    "Load requests packed per proposed block (one sample per getPayload "
+    "call on the batching payload source).",
+    buckets=COUNT_BUCKETS,
+)
+
 # -- gossip sub-layer ---------------------------------------------------------
 
 register_metric(

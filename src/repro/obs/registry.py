@@ -321,6 +321,30 @@ register(
     (),
 )
 
+# -- load pipeline ------------------------------------------------------------
+
+register(
+    "load.batch.sealed", "repro.workloads.batching",
+    "The batching payload source packed `commands` load requests "
+    "(`bytes` on the wire) into a proposed block, leaving `queued` "
+    "requests in the shared ingress queue.",
+    ("commands", "bytes", "queued"),
+)
+register(
+    "load.batch.auth", "repro.workloads.batching",
+    "One batch authentication pass (ingress admission or pool block "
+    "admission) verified `count` client requests in a single RLC "
+    "combination; `invalid` were forged, isolated by `bisections` "
+    "bisection probes.",
+    ("count", "invalid", "bisections"),
+)
+register(
+    "load.admission.reject", "repro.workloads.batching",
+    "Admission control shed `count` authenticated arrivals because the "
+    "ingress queue was at capacity (`queued` requests pending).",
+    ("count", "queued"),
+)
+
 # -- experiment runner --------------------------------------------------------
 
 register(

@@ -26,11 +26,17 @@ _CLIENT_ENVELOPE_LEN = 13  # 12-byte key + 1 separator byte
 def strip_client_envelope(command: bytes) -> bytes:
     """Return the application body of a client-submitted command.
 
-    Commands that did not come through a :class:`ClientFrontend` pass
+    Handles both envelope formats replicas may see: the frontend's
+    ``cli:`` envelope and the load pipeline's signed-request wire format
+    (:mod:`repro.workloads.batching`).  Commands in neither format pass
     through unchanged, so state machines can consume mixed streams.
     """
     if command.startswith(_CLIENT_PREFIX) and len(command) >= _CLIENT_ENVELOPE_LEN:
         return command[_CLIENT_ENVELOPE_LEN:]
+    if command.startswith(b"ld"):
+        from ..workloads.batching import strip_request_envelope
+
+        return strip_request_envelope(command)
     return command
 
 

@@ -16,6 +16,7 @@ commands into its block, deduplicating against the chain it extends — the
 from __future__ import annotations
 
 from dataclasses import dataclass
+from random import Random
 
 from ..core.icc0 import ICC0Party
 from ..core.messages import Block, Payload, ROOT_HASH
@@ -70,7 +71,12 @@ class MempoolWorkload:
         way — ingress latency is far below round time.
         """
         sim = cluster.sim
-        rng = sim.fork_rng("workload")
+        # Dedicated seeded stream, NOT forked from sim.rng: forking draws
+        # 64 bits from the simulation RNG, which would shift every delay
+        # sample that follows — enabling load must not perturb otherwise
+        # bit-identical consensus runs.  Same isolation pattern as the
+        # fault-decision RNG in repro.faults.inject.
+        rng = Random(f"workload/{self.seed}")
         n = cluster.params.n
         self._metrics = cluster.metrics
         self._ingress_copies = ingress_degree / 2.0

@@ -1,0 +1,90 @@
+"""Load experiment: serial==parallel determinism, bench report, CLI."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments import load, runner
+
+
+def _tiny_suite():
+    return load.specs(ns=(4,), loads=(40.0, 80.0), duration=1.5, seed=2,
+                      batch_max=32)
+
+
+def test_specs_labels_and_kinds():
+    suite = _tiny_suite()
+    assert [s.kind for s in suite] == ["load.run_point"] * 2
+    assert [s.label for s in suite] == ["load-n4-r40", "load-n4-r80"]
+
+
+def test_serial_equals_parallel():
+    """`repro load --jobs N` is bit-identical to the serial sweep: every
+    LoadPoint field, including the committed-set digest, matches."""
+    serial = runner.execute(_tiny_suite(), jobs=1)
+    parallel = runner.execute(_tiny_suite(), jobs=2)
+    assert serial == parallel
+    assert all(point.digest for point in serial)
+
+
+def test_run_point_accounts_for_every_request():
+    point = load.run_point(n=4, offered=60.0, duration=1.5, seed=3)
+    assert point.submitted > 0
+    assert point.committed == point.submitted  # below saturation: no loss
+    assert point.rejected == 0
+    assert point.auth_invalid == 0
+    assert point.goodput > 0
+    assert point.mean_latency > 0
+    assert point.p99_latency >= point.mean_latency
+
+
+def test_saturation_sheds_load_not_safety():
+    """Far beyond capacity the queue cap sheds requests; consensus still
+    commits a prefix and the run stays safe (run_point check_safety's)."""
+    point = load.run_point(
+        n=4, offered=5000.0, duration=1.0, seed=4, queue_cap=200,
+        batch_max=64,
+    )
+    assert point.rejected > 0
+    assert point.committed < point.submitted + point.rejected
+    assert point.committed > 0
+
+
+def test_bench_report_structure_and_quick_determinism():
+    report = load.bench(seed=0, min_seconds=0.02)
+    assert report["request_sets_match"] is True
+    assert report["sim"]["batching_gain"] > 1.0
+    assert report["auth"]["speedup"] > 0
+    # The sim leg is simulated time: bit-identical on every run/machine.
+    again = load.bench(seed=0, min_seconds=0.02)
+    assert again["sim"] == report["sim"]
+
+
+def test_tabulate_includes_every_point(capsys):
+    suite = load.specs(ns=(4,), loads=(40.0,), duration=1.0, seed=5)
+    points = [load.run_point(n=4, offered=40.0, duration=1.0, seed=5)]
+    assert load.tabulate(suite, points) == points
+    out = capsys.readouterr().out
+    assert "goodput" in out and "40/s" in out
+
+
+def test_cli_bench_quick_check(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    status = load.main(
+        ["--bench", "--quick", "--check", "--seed", "0", "--json", str(out)]
+    )
+    assert status == 0
+    report = json.loads(out.read_text())
+    assert report["request_sets_match"] is True
+    assert "batching gain" in capsys.readouterr().out
+
+
+def test_cli_tiny_sweep(capsys):
+    status = load.main([
+        "--ns", "4", "--loads", "50", "--duration", "1.0", "--seed", "6",
+        "--jobs", "1",
+    ])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "goodput" in out
+    assert "50/s" in out

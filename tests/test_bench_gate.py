@@ -100,6 +100,55 @@ class TestGateRunner:
         assert any("setup_cache" in f for f in failures)
 
 
+def load_report(gain=25.0, speedup=4.0, match=True) -> dict:
+    return {
+        "benchmark": "load pipeline",
+        "sim": {"batching_gain": gain},
+        "auth": {"speedup": speedup},
+        "request_sets_match": match,
+    }
+
+
+class TestGateLoad:
+    def test_within_tolerance_passes(self):
+        assert bench_gate.gate_load(load_report(), load_report(gain=20.0), 0.25) == []
+
+    def test_batching_gain_regression_fails(self):
+        failures = bench_gate.gate_load(
+            load_report(gain=25.0), load_report(gain=10.0), 0.25
+        )
+        assert any("batching_gain" in f for f in failures)
+
+    def test_auth_speedup_regression_fails(self):
+        failures = bench_gate.gate_load(
+            load_report(speedup=4.0), load_report(speedup=2.0), 0.25
+        )
+        assert any("load.auth.speedup" in f for f in failures)
+
+    def test_request_set_mismatch_fails_either_side(self):
+        failures = bench_gate.gate_load(
+            load_report(match=False), load_report(), 0.25
+        )
+        assert any("committed" in f and "differ" in f for f in failures)
+        failures = bench_gate.gate_load(
+            load_report(), load_report(match=False), 0.25
+        )
+        assert any("fresh" in f and "differ" in f for f in failures)
+
+    def test_batch_auth_slower_than_single_fails(self):
+        failures = bench_gate.gate_load(
+            load_report(speedup=0.8), load_report(speedup=0.8), 0.25
+        )
+        assert any("slower than per-item" in f for f in failures)
+
+    def test_improvement_always_passes(self):
+        assert bench_gate.gate_load(
+            load_report(gain=10.0, speedup=2.0),
+            load_report(gain=40.0, speedup=8.0),
+            0.25,
+        ) == []
+
+
 class TestAuditSnapshot:
     def test_single_core_numeric_speedup_is_nonsense(self):
         failures = bench_gate.audit_snapshot(runner_report(0.683, cores=1))
@@ -124,6 +173,13 @@ class TestCommittedSnapshots:
         for row in report["results"]:
             assert row["speedup"] >= 1.0, row
 
+    def test_committed_load_snapshot_is_sane(self):
+        with open(bench_gate.LOAD_BASELINE, encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert report["request_sets_match"] is True
+        assert report["sim"]["batching_gain"] > 1.0
+        assert report["auth"]["speedup"] >= 1.0
+
 
 class TestMain:
     def _write(self, path, data):
@@ -141,6 +197,10 @@ class TestMain:
             self._write(tmp_path / "rb.json", runner_report(2.0)),
             "--runner-fresh",
             self._write(tmp_path / "rf.json", runner_report(1.8)),
+            "--load-baseline",
+            self._write(tmp_path / "lb.json", load_report()),
+            "--load-fresh",
+            self._write(tmp_path / "lf.json", load_report(gain=22.0)),
         ])
         assert status == 0
         assert "passed" in capsys.readouterr().out
@@ -151,7 +211,18 @@ class TestMain:
             self._write(tmp_path / "cb.json", crypto_report({"schnorr": 10.0})),
             "--crypto-fresh",
             self._write(tmp_path / "cf.json", crypto_report({"schnorr": 2.0})),
-            "--skip-runner",
+            "--skip-runner", "--skip-load",
+        ])
+        assert status == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_main_fails_on_load_mismatch(self, tmp_path, capsys):
+        status = bench_gate.main([
+            "--load-baseline",
+            self._write(tmp_path / "lb.json", load_report()),
+            "--load-fresh",
+            self._write(tmp_path / "lf.json", load_report(match=False)),
+            "--skip-crypto", "--skip-runner",
         ])
         assert status == 1
         assert "FAILED" in capsys.readouterr().out
@@ -163,7 +234,7 @@ class TestMain:
         status = bench_gate.main([
             "--crypto-baseline", str(baseline),
             "--crypto-fresh", self._write(tmp_path / "cf.json", fresh),
-            "--skip-runner", "--update",
+            "--skip-runner", "--skip-load", "--update",
         ])
         assert status == 0
         assert json.loads(baseline.read_text()) == fresh
@@ -175,7 +246,7 @@ class TestMain:
         status = bench_gate.main([
             "--runner-baseline", str(baseline),
             "--runner-fresh", self._write(tmp_path / "rf.json", bad),
-            "--skip-crypto", "--update",
+            "--skip-crypto", "--skip-load", "--update",
         ])
         assert status == 1
         assert json.loads(baseline.read_text()) == runner_report(2.0)

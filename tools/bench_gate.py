@@ -1,21 +1,23 @@
 #!/usr/bin/env python3
 """Bench regression gate: committed snapshots vs a fresh quick run.
 
-The repository commits two benchmark snapshots — ``BENCH_crypto.json``
-(crypto fast path, written by ``python -m repro bench --json``) and
+The repository commits three benchmark snapshots — ``BENCH_crypto.json``
+(crypto fast path, written by ``python -m repro bench --json``),
 ``BENCH_runner.json`` (experiment runner, ``python -m repro bench-runner
---json``).  This gate re-runs both benchmarks in ``--quick`` mode and
-compares the *ratio* metrics (batch-verification speedups, runner
-speedup, setup-cache speedup) against the committed values with a
-relative tolerance band.  Absolute throughput is machine-dependent and
-is never gated; ratios of two timings on the same machine are what the
-snapshots actually promise.
+--json``) and ``BENCH_load.json`` (load/batching pipeline, ``python -m
+repro load --bench --json``).  This gate re-runs the benchmarks in
+``--quick`` mode and compares the *ratio* metrics (batch-verification
+speedups, runner speedup, setup-cache speedup, batching gain) against
+the committed values with a relative tolerance band.  Absolute
+throughput is machine-dependent and is never gated; ratios of two
+timings on the same machine are what the snapshots actually promise.
 
 Usage::
 
     python tools/bench_gate.py [--tolerance 0.25] [--update]
         [--crypto-baseline PATH] [--runner-baseline PATH]
-        [--crypto-fresh PATH] [--runner-fresh PATH]
+        [--load-baseline PATH] [--crypto-fresh PATH]
+        [--runner-fresh PATH] [--load-fresh PATH]
 
 Passing ``--*-fresh`` files skips running that benchmark (useful for
 tests and for gating artifacts produced elsewhere in CI).  ``--update``
@@ -35,6 +37,7 @@ import sys
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 CRYPTO_BASELINE = os.path.join(ROOT, "BENCH_crypto.json")
 RUNNER_BASELINE = os.path.join(ROOT, "BENCH_runner.json")
+LOAD_BASELINE = os.path.join(ROOT, "BENCH_load.json")
 
 #: Default relative tolerance: fresh ratio may be this fraction below
 #: the committed one before the gate fails.  Improvements never fail.
@@ -108,6 +111,43 @@ def gate_runner(committed: dict, fresh: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def gate_load(committed: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Failures for the load-pipeline snapshot (``BENCH_load.json``).
+
+    ``sim.batching_gain`` is measured in *simulation* time, so it is
+    deterministic and machine-independent; it still goes through the
+    ratio check so an intentional re-baseline only needs ``--update``.
+    ``auth.speedup`` is wall clock and gets the usual tolerance band.
+    ``request_sets_match`` is a correctness bit, not a ratio: False in
+    either snapshot fails outright.
+    """
+    failures: list[str] = []
+    for report, origin in ((committed, "committed"), (fresh, "fresh")):
+        if report.get("request_sets_match") is not True:
+            failures.append(
+                f"load[{origin}]: batched and unbatched request sets differ"
+            )
+    failures += _ratio_check(
+        "load.sim.batching_gain",
+        committed.get("sim", {}).get("batching_gain"),
+        fresh.get("sim", {}).get("batching_gain"),
+        tolerance,
+    )
+    failures += _ratio_check(
+        "load.auth.speedup",
+        committed.get("auth", {}).get("speedup"),
+        fresh.get("auth", {}).get("speedup"),
+        tolerance,
+    )
+    fresh_speedup = fresh.get("auth", {}).get("speedup")
+    if isinstance(fresh_speedup, (int, float)) and fresh_speedup < 1.0:
+        failures.append(
+            f"load: batch authentication slower than per-item "
+            f"(speedup {fresh_speedup:.3g} < 1)"
+        )
+    return failures
+
+
 def audit_snapshot(report: dict) -> list[str]:
     """Sanity-check a runner snapshot for internally nonsensical data.
 
@@ -156,6 +196,22 @@ def _run_fresh_runner() -> dict:
         return json.load(handle)
 
 
+def _run_fresh_load() -> dict:
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    import tempfile
+
+    from repro.experiments import load as load_bench
+
+    with tempfile.NamedTemporaryFile("r", suffix=".json") as handle:
+        status = load_bench.main(
+            ["--bench", "--quick", "--seed", "0", "--json", handle.name]
+        )
+        if status:
+            raise SystemExit(f"fresh load bench failed with status {status}")
+        handle.seek(0)
+        return json.load(handle)
+
+
 def _load(path: str) -> dict:
     with open(path, encoding="utf-8") as handle:
         return json.load(handle)
@@ -173,12 +229,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="relative slack below committed ratios")
     parser.add_argument("--crypto-baseline", default=CRYPTO_BASELINE)
     parser.add_argument("--runner-baseline", default=RUNNER_BASELINE)
+    parser.add_argument("--load-baseline", default=LOAD_BASELINE)
     parser.add_argument("--crypto-fresh", default=None,
                         help="use this JSON instead of running the bench")
     parser.add_argument("--runner-fresh", default=None,
                         help="use this JSON instead of running the bench")
+    parser.add_argument("--load-fresh", default=None,
+                        help="use this JSON instead of running the bench")
     parser.add_argument("--skip-crypto", action="store_true")
     parser.add_argument("--skip-runner", action="store_true")
+    parser.add_argument("--skip-load", action="store_true")
     parser.add_argument("--update", action="store_true",
                         help="rewrite committed snapshots from fresh results")
     args = parser.parse_args(argv)
@@ -213,6 +273,19 @@ def main(argv: list[str] | None = None) -> int:
         else:
             failures += audit_snapshot(committed)
             failures += gate_runner(committed, fresh, args.tolerance)
+
+    if not args.skip_load:
+        committed = _load(args.load_baseline)
+        fresh = (
+            _load(args.load_fresh)
+            if args.load_fresh
+            else _run_fresh_load()
+        )
+        if args.update:
+            _write(args.load_baseline, fresh)
+            print(f"updated {args.load_baseline}")
+        else:
+            failures += gate_load(committed, fresh, args.tolerance)
 
     if failures:
         print("bench gate FAILED:")

@@ -18,7 +18,11 @@ Checks every ``*.md`` file in the repo root and ``docs/``:
   installed);
 * every metric name registered in ``src/repro/obs/metrics.py`` is
   documented in ``docs/OBSERVABILITY.md`` (same textual scan, no
-  import).
+  import);
+* every event kind registered in ``src/repro/obs/registry.py`` is
+  documented in ``docs/OBSERVABILITY.md``;
+* every committed ``BENCH_*.json`` snapshot in the repo root is
+  described in ``docs/PERFORMANCE.md``.
 
 Exit status 0 when clean, 1 with one line per problem otherwise.  CI runs
 this plus the test-suite; ``tests/test_docs.py`` runs it in-process.
@@ -145,6 +149,58 @@ def check_metric_docs(problems: list[str]) -> None:
             )
 
 
+#: ``register("kind", ...)`` declarations in the event-kind registry.
+EVENT_RE = re.compile(r"""(?<!_)register\(\s*\n?\s*["']([a-z0-9_.]+)["']""")
+
+
+def registered_event_kinds() -> list[str]:
+    """Event-kind names registered in ``src/repro/obs/registry.py``."""
+    registry = REPO / "src" / "repro" / "obs" / "registry.py"
+    if not registry.is_file():
+        return []
+    return sorted(set(EVENT_RE.findall(registry.read_text(encoding="utf-8"))))
+
+
+def check_event_docs(problems: list[str]) -> None:
+    """Every registered event kind must appear backticked in OBSERVABILITY.md."""
+    doc = REPO / "docs" / "OBSERVABILITY.md"
+    if not doc.is_file():
+        if registered_event_kinds():
+            problems.append(
+                "docs/OBSERVABILITY.md: missing (cannot check event-kind docs)"
+            )
+        return
+    text = doc.read_text(encoding="utf-8")
+    for name in registered_event_kinds():
+        if f"`{name}`" not in text:
+            problems.append(
+                f"docs/OBSERVABILITY.md: event kind {name!r} is undocumented "
+                f"(no `{name}` mention found)"
+            )
+
+
+def bench_snapshots() -> list[str]:
+    """Committed ``BENCH_*.json`` snapshot files in the repo root."""
+    return sorted(p.name for p in REPO.glob("BENCH_*.json"))
+
+
+def check_bench_docs(problems: list[str]) -> None:
+    """Every committed bench snapshot must be described in PERFORMANCE.md."""
+    doc = REPO / "docs" / "PERFORMANCE.md"
+    if not doc.is_file():
+        if bench_snapshots():
+            problems.append(
+                "docs/PERFORMANCE.md: missing (cannot check bench snapshot docs)"
+            )
+        return
+    text = doc.read_text(encoding="utf-8")
+    for name in bench_snapshots():
+        if name not in text:
+            problems.append(
+                f"docs/PERFORMANCE.md: bench snapshot {name!r} is undocumented"
+            )
+
+
 def run() -> list[str]:
     problems: list[str] = []
     for path in doc_files():
@@ -153,6 +209,8 @@ def run() -> list[str]:
         check_tables(path, problems)
     check_cli_docs(problems)
     check_metric_docs(problems)
+    check_event_docs(problems)
+    check_bench_docs(problems)
     return problems
 
 
