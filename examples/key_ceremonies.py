@@ -19,6 +19,7 @@ from __future__ import annotations
 from random import Random
 
 from repro.crypto import threshold
+from repro.crypto.api import verifiers_for
 from repro.crypto.dkg import run_dkg
 from repro.crypto.group import test_group
 from repro.crypto.resharing import reshare, resharing_traffic_bytes
@@ -46,7 +47,7 @@ def main() -> None:
         for key in dkg.key_shares[:H]
     ]
     sig_before = threshold.combine(dkg.public, message, shares)
-    assert threshold.verify(dkg.public, message, sig_before)
+    assert verifiers_for(group).threshold.verify(dkg.public, message, sig_before)
     print(f"beacon value (epoch 0): {hex(sig_before.value)[:18]}…")
 
     # 3. Proactive resharing: contributors 3, 5, 7 refresh everyone.
@@ -64,7 +65,7 @@ def main() -> None:
         for key in new_keys[3:6]
     ]
     sig_after = threshold.combine(new_public, message, new_shares)
-    assert threshold.verify(new_public, message, sig_after)
+    assert verifiers_for(group).threshold.verify(new_public, message, sig_after)
     print(f"beacon value (epoch 1): {hex(sig_after.value)[:18]}…")
     assert sig_after.value == sig_before.value
     print("\nepoch-invariant beacon: OK — old shares are now dead weight "

@@ -13,6 +13,9 @@ Commands:
 * ``load``        — batched load harness: sweep offered load and chart the
   throughput-vs-latency saturation curve at n=13/31/100 (``--bench`` for
   the BENCH_load legs) — see ``docs/LOAD.md``;
+* ``shard``       — multi-subnet sharding harness: K embedded clusters over
+  certified xnet streams, aggregate-throughput-vs-K sweep (``--bench`` for
+  the BENCH_shard legs) — see ``docs/SHARDING.md``;
 * ``bench``       — crypto fast-path benchmark (single vs batch verification
   throughput per primitive) — see ``docs/PERFORMANCE.md``;
 * ``bench-runner`` — experiment-suite wall-clock benchmark (serial vs
@@ -206,6 +209,26 @@ def _cmd_load(args: argparse.Namespace) -> None:
     if args.check:
         argv.append("--check")
     status = load.main(argv)
+    if status:
+        sys.exit(status)
+
+
+def _cmd_shard(args: argparse.Namespace) -> None:
+    from repro.experiments import sharding
+
+    argv = ["--ks", args.ks, "--n", str(args.n),
+            "--offered", str(args.offered), "--xfrac", str(args.xfrac),
+            "--duration", str(args.duration), "--seed", str(args.seed),
+            "--jobs", str(args.jobs)]
+    if args.bench:
+        argv.append("--bench")
+    if args.json is not None:
+        argv += ["--json", args.json]
+    if args.quick:
+        argv.append("--quick")
+    if args.check:
+        argv.append("--check")
+    status = sharding.main(argv)
     if status:
         sys.exit(status)
 
@@ -417,6 +440,43 @@ def main(argv: list[str] | None = None) -> None:
         help="with --bench: fail unless batching wins and request sets match",
     )
     load.set_defaults(func=_cmd_load)
+
+    shard = sub.add_parser(
+        "shard",
+        help="multi-subnet sharding harness: aggregate throughput vs K "
+             "over certified xnet streams",
+    )
+    shard.add_argument(
+        "--ks", default="1,2,4",
+        help="comma-separated shard counts to sweep",
+    )
+    shard.add_argument("--n", type=int, default=4, help="parties per shard")
+    shard.add_argument("--offered", type=float, default=200.0,
+                       help="offered load per shard (requests/second)")
+    shard.add_argument("--xfrac", type=float, default=0.0,
+                       help="fraction of requests addressed cross-shard")
+    shard.add_argument("--duration", type=float, default=2.0,
+                       help="arrival window (simulated seconds)")
+    shard.add_argument("--seed", type=int, default=0)
+    shard.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (results identical at any N)",
+    )
+    shard.add_argument(
+        "--bench", action="store_true",
+        help="run the BENCH_shard legs instead of the sweep",
+    )
+    shard.add_argument("--json", metavar="PATH", default=None,
+                       help="write the bench report as JSON (implies --bench)")
+    shard.add_argument("--quick", action="store_true",
+                       help="accepted for CI symmetry; all legs are simulated")
+    shard.add_argument(
+        "--check", action="store_true",
+        help="fail unless goodput scales with K, the cross-shard penalty "
+             "is reported, forged streams are rejected, and "
+             "serial == parallel",
+    )
+    shard.set_defaults(func=_cmd_shard)
 
     bench = sub.add_parser(
         "bench", help="crypto fast-path benchmark (single vs batch verification)"

@@ -7,7 +7,14 @@
 """
 
 from .beacon import RankAssignment, permutation_from_beacon
-from .cluster import Cluster, ClusterConfig, build_cluster, run_happy_path
+from .cluster import (
+    Cluster,
+    ClusterConfig,
+    ClusterHandle,
+    build_cluster,
+    embed_cluster,
+    run_happy_path,
+)
 from .icc0 import ICC0Party, SafetyViolation, empty_payload_source
 from .messages import (
     Authenticator,
@@ -23,7 +30,7 @@ from .messages import (
     ROOT_BLOCK,
     ROOT_HASH,
 )
-from .params import AdaptiveDelays, ProtocolParams, StandardDelays, max_faults
+from .params import AdaptiveDelays, DelayPolicy, ProtocolParams, StandardDelays, max_faults
 from .pool import MessagePool
 
 __all__ = [
@@ -31,7 +38,9 @@ __all__ = [
     "permutation_from_beacon",
     "Cluster",
     "ClusterConfig",
+    "ClusterHandle",
     "build_cluster",
+    "embed_cluster",
     "run_happy_path",
     "ICC0Party",
     "SafetyViolation",
@@ -49,6 +58,7 @@ __all__ = [
     "ROOT_BLOCK",
     "ROOT_HASH",
     "AdaptiveDelays",
+    "DelayPolicy",
     "ProtocolParams",
     "StandardDelays",
     "max_faults",

@@ -2,20 +2,36 @@
 
 Every test, example and benchmark builds its runs through
 :func:`build_cluster`, so experiment setup is uniform and fully seeded.
+
+A cluster is an **embeddable component**, not a process-wide singleton:
+nothing here touches module-level state, and several clusters can coexist
+in one process — or in one :class:`~repro.sim.simulator.Simulation` — at
+once.  :func:`embed_cluster` builds a cluster inside an existing
+Simulation behind an explicit :class:`ClusterHandle`: the cluster gets its
+own namespace prefix on every trace/metric stream (``"<name>/..."``, via
+:func:`repro.obs.namespaced_tracer` / :func:`repro.obs.namespaced_meter`)
+and its own seeded delay-sampling RNG stream, so K embedded clusters are
+observably separable and bit-identical to K standalone runs with the same
+seeds (pinned by ``tests/core/test_embedded_cluster.py``).  This is the
+substrate :mod:`repro.smr.sharding` composes into multi-subnet
+deployments.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass, field as dc_field, replace
+from random import Random
 from typing import Callable, Sequence
 
 from ..crypto.keyring import Keyring, generate_keyrings
+from ..obs.metrics import MeterLike, namespaced_meter
+from ..obs.tracer import TraceEvent, TracerLike, namespaced_tracer
 from ..sim.delays import DelayModel, FixedDelay
 from ..sim.metrics import Metrics
 from ..sim.network import Network
 from ..sim.simulator import Simulation
 from .icc0 import ICC0Party, PayloadSource, empty_payload_source
-from .params import ProtocolParams, StandardDelays
+from .params import DelayPolicy, ProtocolParams, StandardDelays
 
 #: Builds one party; adversarial behaviours provide alternatives.
 PartyFactory = Callable[..., ICC0Party]
@@ -41,7 +57,7 @@ class ClusterConfig:
     delay_model: DelayModel | None = None  # default FixedDelay(0.1)
     #: Override the protocol delay functions (e.g. AdaptiveDelays); when
     #: None, StandardDelays(delta_bound, epsilon) is used.
-    protocol_delays: object | None = None
+    protocol_delays: DelayPolicy | None = None
     payload_source: PayloadSource = empty_payload_source
     #: Optional payload batch-admission hook installed on every party's
     #: pool (see :attr:`repro.core.pool.MessagePool.payload_verifier`).
@@ -51,16 +67,52 @@ class ClusterConfig:
     corrupt: dict[int, PartyFactory | None] = dc_field(default_factory=dict)
     extra_party_kwargs: dict = dc_field(default_factory=dict)
     #: Optional :class:`repro.obs.Tracer`; installed on the Simulation
-    #: *before* any party is built (parties cache ``sim.tracer``).
-    tracer: object | None = None
+    #: *before* any party is built (parties cache ``sim.tracer``).  With a
+    #: ``namespace`` the install is scoped to this cluster's build instead
+    #: of mutating the Simulation for good.
+    tracer: TracerLike | None = None
     #: Optional :class:`repro.obs.Meter` (counters/gauges/histograms);
     #: installed on the Simulation under the same before-build rule.
-    meter: object | None = None
+    meter: MeterLike | None = None
+    #: Embeddability: prefix every trace event's protocol label and every
+    #: metric name with ``"<namespace>/"`` so several clusters can share
+    #: one Simulation's sinks with separable streams.  None (default) =
+    #: the classic standalone behaviour.
+    namespace: str | None = None
+    #: Embeddability: seed string for a cluster-private delay-sampling RNG
+    #: (``random.Random(rng_stream)``), so embedded clusters never consume
+    #: each other's ``sim.rng`` draws.  None = share ``sim.rng``.
+    rng_stream: str | None = None
 
     def __post_init__(self) -> None:
         if len(self.corrupt) > self.t:
             raise ValueError(
                 f"{len(self.corrupt)} corrupt parties declared but t={self.t}"
+            )
+        if self.protocol_delays is not None and not isinstance(
+            self.protocol_delays, DelayPolicy
+        ):
+            raise TypeError(
+                "protocol_delays must implement DelayPolicy (prop/ntry), got "
+                f"{type(self.protocol_delays).__name__}"
+            )
+        if self.tracer is not None and not (
+            isinstance(self.tracer, TracerLike) and hasattr(self.tracer, "enabled")
+        ):
+            raise TypeError(
+                "tracer must implement TracerLike (enabled + emit), got "
+                f"{type(self.tracer).__name__}"
+            )
+        if self.meter is not None and not (
+            isinstance(self.meter, MeterLike) and hasattr(self.meter, "enabled")
+        ):
+            raise TypeError(
+                "meter must implement MeterLike (enabled + count/gauge/observe), "
+                f"got {type(self.meter).__name__}"
+            )
+        if self.namespace is not None and ("/" in self.namespace or not self.namespace):
+            raise ValueError(
+                f"namespace must be non-empty and '/'-free: {self.namespace!r}"
             )
 
 
@@ -82,6 +134,8 @@ class Cluster:
         self.parties = parties
         self.params = params
         self.keyrings = keyrings
+        #: Set by :func:`build_cluster`; the embeddable face of this cluster.
+        self.handle: ClusterHandle | None = None
 
     @property
     def metrics(self) -> Metrics:
@@ -139,60 +193,170 @@ class Cluster:
         return max((p.k_max for p in self.honest_parties), default=0)
 
 
+@dataclass
+class ClusterHandle:
+    """The explicit face of one (possibly embedded) cluster.
+
+    Bundles the cluster with the exact observability views and RNG stream
+    its components were wired to at build time: ``tracer``/``meter`` are
+    the (namespaced, when embedded) sinks every party and the network
+    cached, and ``rng`` is the cluster-private delay stream (None when the
+    cluster shares ``sim.rng``).  Holding a handle is how callers address
+    one cluster among many in a shared Simulation without any global
+    lookup.
+    """
+
+    name: str
+    cluster: Cluster
+    tracer: TracerLike
+    meter: MeterLike
+    rng: Random | None = None
+
+    # -- delegation conveniences ------------------------------------------
+
+    @property
+    def config(self) -> ClusterConfig:
+        return self.cluster.config
+
+    @property
+    def sim(self) -> Simulation:
+        return self.cluster.sim
+
+    @property
+    def network(self) -> Network:
+        return self.cluster.network
+
+    @property
+    def parties(self) -> list[ICC0Party]:
+        return self.cluster.parties
+
+    def start(self) -> None:
+        self.cluster.start()
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """This cluster's slice of the trace (namespace-filtered when
+        embedded)."""
+        return self.tracer.events(kind)
+
+    def counter(self, name: str) -> int:
+        """This cluster's slice of a counter metric (bare registry name)."""
+        value = getattr(self.meter, "counter_value", None)
+        return int(value(name)) if value is not None else 0
+
+
 def build_cluster(config: ClusterConfig, sim: Simulation | None = None) -> Cluster:
     """Construct a fully wired cluster from a config (nothing runs yet).
 
     Pass an existing ``sim`` to co-schedule several clusters in one
-    simulation (e.g. multiple subnets coupled by :mod:`repro.smr.xnet`).
+    simulation (e.g. multiple subnets coupled by :mod:`repro.smr.xnet`);
+    with ``config.namespace`` set the build never mutates the shared
+    Simulation's tracer/meter permanently — the namespaced views are
+    installed only while parties are constructed (they cache the sinks)
+    and the network keeps explicit overrides.  :func:`embed_cluster` is
+    the one-call wrapper for that mode.
     """
     if sim is None:
         sim = Simulation(seed=config.seed)
-    if config.tracer is not None:
-        sim.tracer = config.tracer  # before Network/parties: they cache it
-    if config.meter is not None:
-        sim.meter = config.meter
-    delay_model = config.delay_model if config.delay_model is not None else FixedDelay(0.1)
-    metrics = Metrics(n=config.n)
-    network = Network(sim, config.n, delay_model, metrics)
-    keyrings = generate_keyrings(
-        config.n,
-        config.t,
-        seed=config.seed,
-        backend=config.crypto_backend,
-        group_profile=config.group_profile,
-    )
-    delays = config.protocol_delays
-    if delays is None:
-        delays = StandardDelays(delta_bound=config.delta_bound, epsilon=config.epsilon)
-    params = ProtocolParams(
-        n=config.n,
-        t=config.t,
-        delays=delays,
-        max_rounds=config.max_rounds,
-        gc_depth=config.gc_depth,
-    )
-    parties: list[ICC0Party] = []
-    for i in range(1, config.n + 1):
-        factory = config.corrupt.get(i, config.party_class)
-        if factory is None:  # crash failure: attach a stub that stays silent
-            factory = config.party_class
-        party = factory(
-            index=i,
-            keyring=keyrings[i - 1],
-            params=params,
-            sim=sim,
-            network=network,
-            payload_source=config.payload_source,
-            **config.extra_party_kwargs,
+    base_tracer = config.tracer if config.tracer is not None else sim.tracer
+    base_meter = config.meter if config.meter is not None else sim.meter
+    if config.namespace is not None:
+        cluster_tracer = namespaced_tracer(base_tracer, config.namespace)
+        cluster_meter = namespaced_meter(base_meter, config.namespace)
+    else:
+        cluster_tracer = base_tracer
+        cluster_meter = base_meter
+    cluster_rng = Random(config.rng_stream) if config.rng_stream is not None else None
+    prev_tracer, prev_meter = sim.tracer, sim.meter
+    # Before Network/parties are built: they cache the sinks they see here.
+    sim.tracer = cluster_tracer
+    sim.meter = cluster_meter
+    try:
+        delay_model = config.delay_model if config.delay_model is not None else FixedDelay(0.1)
+        metrics = Metrics(n=config.n)
+        network = Network(
+            sim,
+            config.n,
+            delay_model,
+            metrics,
+            tracer=cluster_tracer if config.namespace is not None else None,
+            meter=cluster_meter if config.namespace is not None else None,
+            rng=cluster_rng,
         )
-        party.pool.batch_verify = config.crypto_batch
-        party.pool.payload_verifier = config.payload_verifier
-        parties.append(party)
-        network.attach(party)
-    for index, factory in config.corrupt.items():
-        if factory is None:
-            network.crash(index)
-    return Cluster(config, sim, network, parties, params, keyrings)
+        keyrings = generate_keyrings(
+            config.n,
+            config.t,
+            seed=config.seed,
+            backend=config.crypto_backend,
+            group_profile=config.group_profile,
+        )
+        delays = config.protocol_delays
+        if delays is None:
+            delays = StandardDelays(delta_bound=config.delta_bound, epsilon=config.epsilon)
+        params = ProtocolParams(
+            n=config.n,
+            t=config.t,
+            delays=delays,
+            max_rounds=config.max_rounds,
+            gc_depth=config.gc_depth,
+        )
+        parties: list[ICC0Party] = []
+        for i in range(1, config.n + 1):
+            factory = config.corrupt.get(i, config.party_class)
+            if factory is None:  # crash failure: attach a stub that stays silent
+                factory = config.party_class
+            party = factory(
+                index=i,
+                keyring=keyrings[i - 1],
+                params=params,
+                sim=sim,
+                network=network,
+                payload_source=config.payload_source,
+                **config.extra_party_kwargs,
+            )
+            party.pool.batch_verify = config.crypto_batch
+            party.pool.payload_verifier = config.payload_verifier
+            parties.append(party)
+            network.attach(party)
+        for index, factory in config.corrupt.items():
+            if factory is None:
+                network.crash(index)
+    finally:
+        if config.namespace is not None:
+            # Scoped install: an embedded build leaves the shared
+            # Simulation's sinks exactly as it found them.
+            sim.tracer, sim.meter = prev_tracer, prev_meter
+    cluster = Cluster(config, sim, network, parties, params, keyrings)
+    cluster.handle = ClusterHandle(
+        name=config.namespace if config.namespace is not None else f"cluster{config.seed}",
+        cluster=cluster,
+        tracer=cluster_tracer,
+        meter=cluster_meter,
+        rng=cluster_rng,
+    )
+    return cluster
+
+
+def embed_cluster(name: str, config: ClusterConfig, sim: Simulation) -> ClusterHandle:
+    """Build ``config`` as an embedded component of an existing ``sim``.
+
+    The cluster gets ``name`` as its trace/metric namespace and (unless
+    the config pins one) a private delay-RNG stream derived from
+    ``(name, config.seed)`` — so the same config embedded next to any
+    number of siblings, or standalone in a fresh Simulation, finalizes
+    bit-identical chains.
+    """
+    config = replace(
+        config,
+        namespace=name,
+        rng_stream=(
+            config.rng_stream
+            if config.rng_stream is not None
+            else f"cluster/{name}/{config.seed}"
+        ),
+    )
+    cluster = build_cluster(config, sim=sim)
+    assert cluster.handle is not None
+    return cluster.handle
 
 
 def run_happy_path(

@@ -17,9 +17,21 @@ implement; both are injectable so experiments can explore alternatives
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Protocol, runtime_checkable
 
 DelayFunction = Callable[[int], float]
+
+
+@runtime_checkable
+class DelayPolicy(Protocol):
+    """The protocol-delay interface parties consult each round: Δprop(r)
+    and Δntry(r) over ranks.  :class:`StandardDelays` and
+    :class:`AdaptiveDelays` both satisfy it; ``ClusterConfig.protocol_delays``
+    accepts any implementation (validated in ``__post_init__``)."""
+
+    def prop(self, rank: int) -> float: ...
+
+    def ntry(self, rank: int) -> float: ...
 
 
 @dataclass(frozen=True)

@@ -3,7 +3,9 @@
 Before this module, each scheme exposed its own free-function signature —
 ``schnorr.verify(group, public, msg, sig)`` vs ``threshold.verify(pk, msg,
 sig)`` vs keyring methods — and callers had no batch entry point at all.
-This module gives every scheme the same two-method verifier surface:
+(Those free functions are gone now; this module is the only verification
+surface.)  This module gives every scheme the same two-method verifier
+surface:
 
     verify(pk, message, sig) -> bool
     verify_batch(items)      -> list[bool]      # items: (pk, message, sig)
@@ -22,8 +24,8 @@ the scheme public key (``ThresholdPublicKey`` / ``MultisigPublicKey``) for
 shares and aggregates.
 
 Obtain verifiers through :func:`verifiers_for` (one cached suite per
-group).  The old module-level ``verify`` functions remain as thin
-deprecated wrappers that delegate here.
+group).  The scheme modules keep keygen/sign/combine and their wire
+formats; verification lives here, where batching can amortize it.
 """
 
 from __future__ import annotations

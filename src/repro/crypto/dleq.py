@@ -94,15 +94,3 @@ def prove(group: Group, secret: int, g1: int, g2: int, rng) -> DleqProof:
     c = _challenge(group, g1, a, g2, b, t1, t2)
     s = (nonce + c * secret) % group.q
     return DleqProof(commitment1=t1, commitment2=t2, response=s)
-
-
-def verify(group: Group, g1: int, a: int, g2: int, b: int, proof: DleqProof) -> bool:
-    """Verify a DLEQ proof for the statement (g1, A=g1^x, g2, B=g2^x).
-
-    .. deprecated:: delegates to :class:`repro.crypto.api.DleqVerifier`;
-       new call sites should use :mod:`repro.crypto.api` directly (and get
-       ``verify_batch`` for free).
-    """
-    from . import api
-
-    return api.verifiers_for(group).dleq.verify(DleqStatement(g1, a, g2, b), b"", proof)

@@ -77,19 +77,6 @@ def sign_share(pk: MultisigPublicKey, key: MultisigKeyShare, message: bytes, rng
     return MultisigShare(index=key.index, signature=schnorr.sign(pk.group, key.secret, message, rng))
 
 
-def verify_share(pk: MultisigPublicKey, message: bytes, share: MultisigShare) -> bool:
-    """Check one share against its party's public key.
-
-    .. deprecated:: delegates to
-       :class:`repro.crypto.api.MultisigShareVerifier`; new call sites
-       should use :mod:`repro.crypto.api` directly (and get
-       ``verify_batch`` for free).
-    """
-    from . import api
-
-    return api.verifiers_for(pk.group).multisig_share.verify(pk, message, share)
-
-
 def combine(pk: MultisigPublicKey, message: bytes, shares: list[MultisigShare]) -> Multisignature:
     """Aggregate h distinct valid shares into a multi-signature."""
     seen: set[int] = set()
@@ -103,14 +90,3 @@ def combine(pk: MultisigPublicKey, message: bytes, shares: list[MultisigShare]) 
     if len(chosen) < pk.threshold:
         raise ValueError(f"need {pk.threshold} distinct shares, got {len(chosen)}")
     return Multisignature(shares=tuple(chosen))
-
-
-def verify(pk: MultisigPublicKey, message: bytes, sig: Multisignature) -> bool:
-    """An aggregate is valid iff it carries h distinct valid shares.
-
-    .. deprecated:: delegates to :class:`repro.crypto.api.MultisigVerifier`;
-       new call sites should use :mod:`repro.crypto.api` directly.
-    """
-    from . import api
-
-    return api.verifiers_for(pk.group).multisig.verify(pk, message, sig)

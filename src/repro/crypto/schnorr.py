@@ -78,15 +78,3 @@ def signature_from_bytes(group: Group, data: bytes) -> SchnorrSignature:
     if not 0 <= response < group.q:
         raise ValueError("Schnorr response out of scalar range")
     return SchnorrSignature(commitment=commitment, response=response)
-
-
-def verify(group: Group, public: int, message: bytes, signature: SchnorrSignature) -> bool:
-    """Check g**s == R · pk**c.
-
-    .. deprecated:: delegates to :class:`repro.crypto.api.SchnorrVerifier`;
-       new call sites should use :mod:`repro.crypto.api` directly (and get
-       ``verify_batch`` for free).
-    """
-    from . import api
-
-    return api.verifiers_for(group).schnorr.verify(public, message, signature)

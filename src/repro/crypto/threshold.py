@@ -104,19 +104,6 @@ def sign_share(pk: ThresholdPublicKey, key: ThresholdKeyShare, message: bytes, r
     return SignatureShare(index=key.index, value=value, proof=proof)
 
 
-def verify_share(pk: ThresholdPublicKey, message: bytes, share: SignatureShare) -> bool:
-    """Check a share against the share public key via its DLEQ proof.
-
-    .. deprecated:: delegates to
-       :class:`repro.crypto.api.ThresholdShareVerifier`; new call sites
-       should use :mod:`repro.crypto.api` directly (and get
-       ``verify_batch`` for free).
-    """
-    from . import api
-
-    return api.verifiers_for(pk.group).threshold_share.verify(pk, message, share)
-
-
 def combine(pk: ThresholdPublicKey, message: bytes, shares: list[SignatureShare]) -> ThresholdSignature:
     """Combine ``threshold`` valid shares into the master signature.
 
@@ -135,23 +122,6 @@ def combine(pk: ThresholdPublicKey, message: bytes, shares: list[SignatureShare]
     for lam, share in zip(lams, chosen):
         value = group.mul(value, group.power(share.value, lam))
     return ThresholdSignature(value=value, shares=tuple(chosen))
-
-
-def verify(pk: ThresholdPublicKey, message: bytes, sig: ThresholdSignature) -> bool:
-    """Verify a combined signature.
-
-    Every carried share must prove valid against its share public key, and
-    their Lagrange recombination must equal ``sig.value``.  This is the
-    pairing-free verification path; it accepts exactly the signatures a BLS
-    pairing check would accept (the unique value H2(m)**master_sk).
-
-    .. deprecated:: delegates to
-       :class:`repro.crypto.api.ThresholdSignatureVerifier`; new call
-       sites should use :mod:`repro.crypto.api` directly.
-    """
-    from . import api
-
-    return api.verifiers_for(pk.group).threshold.verify(pk, message, sig)
 
 
 def signature_value_bytes(pk: ThresholdPublicKey, sig: ThresholdSignature) -> bytes:

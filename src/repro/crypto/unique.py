@@ -36,14 +36,3 @@ def sign(group: Group, secret: int, message: bytes, rng) -> UniqueSignature:
     value = group.power(h2, secret)
     proof = dleq.prove(group, secret, group.g, h2, rng)
     return UniqueSignature(value=value, proof=proof)
-
-
-def verify(group: Group, public: int, message: bytes, sig: UniqueSignature) -> bool:
-    """Check σ == H2(m)**sk via the carried DLEQ proof.
-
-    .. deprecated:: delegates to :class:`repro.crypto.api.UniqueVerifier`;
-       new call sites should use :mod:`repro.crypto.api` directly.
-    """
-    from . import api
-
-    return api.verifiers_for(group).unique.verify(public, message, sig)

@@ -55,6 +55,7 @@ EXECUTORS: dict[str, tuple[str, str]] = {
     "comparison.baseline_row": ("repro.experiments.comparison", "baseline_row"),
     "intermittent.run": ("repro.experiments.intermittent", "run"),
     "chaos.run_scenario": ("repro.experiments.chaos", "run_scenario"),
+    "shard.run_deployment": ("repro.experiments.sharding", "run_deployment"),
     "load.run_point": ("repro.experiments.load", "run_point"),
     "report.run_traced": ("repro.experiments.run_report", "run_traced"),
     "ablations.epsilon_point": ("repro.experiments.ablations", "epsilon_point"),

@@ -1,0 +1,294 @@
+"""The sharding harness: aggregate throughput vs shard count over xnet.
+
+``python -m repro shard`` sweeps the shard count K of a
+:class:`~repro.smr.sharding.ShardedDeployment` — K embedded clusters in
+one Simulation, coupled by certified xnet streams — and reports how
+aggregate finalized-request throughput scales with K and what latency
+penalty cross-shard requests pay for their extra consensus hop plus
+stream transfer.
+
+Two entry points share this module:
+
+* the **sweep** (default CLI mode): one ``shard.run_deployment`` spec per
+  K, fanned across the parallel runner's process pool — whole
+  deployments are the unit of work, and results are bit-identical at any
+  ``--jobs`` because every deployment is internally deterministic;
+* the **bench** (``--bench``), which backs the committed
+  ``BENCH_shard.json`` snapshot gated by ``tools/bench_gate.py``.  Every
+  leg is *simulated and deterministic* (fixed delays, hash-MAC auth,
+  seeded populations), so CI reproduces the committed numbers exactly:
+  a scaling leg (goodput at K = 1/2/4, must be monotone), a cross-shard
+  leg (latency penalty at K = 2, xfrac = 0.25), a stream-certification
+  leg (a forged envelope must be dropped and counted), and a
+  serial-vs-parallel identity check through the runner.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from ..smr.sharding import ShardResult, ShardSpec, ShardedDeployment
+from . import runner
+from .common import print_table
+
+#: Default sweep shape: shard counts to compare at a fixed subnet size.
+DEFAULT_KS = (1, 2, 4)
+DEFAULT_N = 4
+
+
+def run_deployment(
+    shards: int = 2,
+    n: int = DEFAULT_N,
+    offered: float = 200.0,
+    xfrac: float = 0.0,
+    duration: float = 2.0,
+    seed: int = 0,
+    delta: float = 0.05,
+    transfer_delay: float = 0.1,
+    batch_max: int = 64,
+    auth: str = "fast",
+) -> ShardResult:
+    """Run one sharded deployment (fully seeded, deterministic, picklable)."""
+    spec = ShardSpec(
+        shards=shards,
+        n=n,
+        t=(n - 1) // 3,
+        offered=offered,
+        xfrac=xfrac,
+        duration=duration,
+        seed=seed,
+        delta=delta,
+        delta_bound=delta * 6,
+        epsilon=delta * 0.1,
+        transfer_delay=transfer_delay,
+        batch_max=batch_max,
+        auth=auth,
+    )
+    return ShardedDeployment(spec).run()
+
+
+def specs(
+    ks: tuple[int, ...] = DEFAULT_KS,
+    n: int = DEFAULT_N,
+    offered: float = 200.0,
+    xfrac: float = 0.0,
+    duration: float = 2.0,
+    seed: int = 0,
+) -> list[runner.RunSpec]:
+    """One RunSpec per shard count K."""
+    return [
+        runner.spec(
+            "shard",
+            "shard.run_deployment",
+            label=f"shard-k{k}-n{n}-x{int(xfrac * 100)}",
+            shards=k,
+            n=n,
+            offered=offered,
+            xfrac=xfrac,
+            duration=duration,
+            seed=seed,
+        )
+        for k in ks
+    ]
+
+
+def tabulate(
+    specs: list[runner.RunSpec], results: list[ShardResult]
+) -> list[ShardResult]:
+    rows = []
+    for r in results:
+        penalty = f"{r.latency_penalty:.2f}x" if r.latency_penalty else "-"
+        cross_ms = (
+            f"{r.mean_cross_latency * 1000:.0f} ms" if r.mean_cross_latency else "-"
+        )
+        rows.append(
+            (
+                r.shards,
+                r.n,
+                f"{r.offered * r.shards:.0f}/s",
+                r.committed,
+                f"{r.goodput:.0f}/s",
+                f"{r.mean_local_latency * 1000:.0f} ms"
+                if r.mean_local_latency
+                else "-",
+                cross_ms,
+                penalty,
+                r.transfers,
+                r.rejected,
+            )
+        )
+    print_table(
+        "shard: aggregate throughput vs shard count over xnet "
+        "(K clusters, one simulation, certified cross-shard streams)",
+        ["K", "n", "offered", "committed", "goodput", "local lat",
+         "cross lat", "penalty", "transfers", "rejected"],
+        rows,
+    )
+    return results
+
+
+# ---------------------------------------------------------------------- bench
+
+#: Fixed config for the bench legs.  Deliberately tiny — and deliberately
+#: *identical* in --quick and full runs: every leg measures simulation
+#: time, which is bit-identical on every machine, so the CI quick pass
+#: reproduces the committed numbers exactly.
+_BENCH_LEG = dict(n=4, offered=200.0, duration=2.0, delta=0.05)
+
+
+def bench(seed: int = 0, jobs: int = 2) -> dict:
+    """Produce the ``BENCH_shard.json`` report (see module docstring)."""
+    # Leg 1 (simulated, deterministic): aggregate goodput at K = 1/2/4
+    # with purely local traffic — the headline scaling claim.
+    ks = list(DEFAULT_KS)
+    by_k = {
+        k: run_deployment(shards=k, xfrac=0.0, seed=seed, **_BENCH_LEG) for k in ks
+    }
+    goodputs = [by_k[k].goodput for k in ks]
+    scaling = {
+        "ks": ks,
+        "goodput_by_k": {str(k): by_k[k].goodput for k in ks},
+        "scaling_gain": round(goodputs[-1] / goodputs[0], 2),
+        "monotonic": all(a < b for a, b in zip(goodputs, goodputs[1:])),
+    }
+
+    # Leg 2 (simulated, deterministic): the cross-shard latency penalty —
+    # origin finalization + certified transfer + destination finalization
+    # vs a single local commit.
+    cross = run_deployment(shards=2, xfrac=0.25, seed=seed, **_BENCH_LEG)
+    cross_leg = {
+        "xfrac": 0.25,
+        "cross_committed": cross.committed_cross,
+        "mean_local_latency": round(cross.mean_local_latency, 6),
+        "mean_cross_latency": round(cross.mean_cross_latency, 6),
+        "latency_penalty": round(cross.latency_penalty, 2),
+        "transfers": cross.transfers,
+        "rejected": cross.rejected,
+    }
+
+    # Leg 3 (deterministic): stream certification at ingress — a forged
+    # cross-shard envelope must be dropped and counted, never delivered.
+    from ..smr.xnet import XNET_STREAM_VERSION, StreamMessage
+
+    probe = ShardedDeployment(ShardSpec(shards=2, n=4, seed=seed))
+    forged = StreamMessage(
+        version=XNET_STREAM_VERSION,
+        source="shard0",
+        destination="shard1",
+        seq=0,
+        cert=b"\x00" * 32,
+        body=b"forged cross-shard command",
+    )
+    delivered = probe.xnet.ingress(forged)
+    forged_rejected = (not delivered) and probe.xnet.rejected == 1
+
+    # Leg 4 (deterministic): serial-vs-parallel identity through the
+    # runner — the same K=2 deployment spec executed in this process and
+    # across worker processes must produce byte-identical results.
+    suite = specs(ks=(2,), xfrac=0.25, seed=seed)
+    serial = [runner.run_spec(s) for s in suite]
+    parallel = runner.execute(suite, jobs=jobs)
+    results_identical = serial == parallel
+
+    return {
+        "benchmark": "multi-subnet sharding over xnet certified streams",
+        "seed": seed,
+        "scaling": scaling,
+        "cross": cross_leg,
+        "forged_rejected": forged_rejected,
+        "results_identical": results_identical,
+    }
+
+
+# ------------------------------------------------------------------------ CLI
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="python -m repro shard")
+    parser.add_argument(
+        "--ks", default=",".join(str(k) for k in DEFAULT_KS),
+        help="comma-separated shard counts to sweep",
+    )
+    parser.add_argument("--n", type=int, default=DEFAULT_N,
+                        help="parties per shard")
+    parser.add_argument("--offered", type=float, default=200.0,
+                        help="offered load per shard (requests/second)")
+    parser.add_argument("--xfrac", type=float, default=0.0,
+                        help="fraction of requests addressed cross-shard")
+    parser.add_argument("--duration", type=float, default=2.0,
+                        help="arrival window (simulated seconds)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (results identical at any N)")
+    parser.add_argument("--bench", action="store_true",
+                        help="run the BENCH_shard legs instead of the sweep")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the bench report as JSON (implies --bench)")
+    parser.add_argument("--quick", action="store_true",
+                        help="accepted for CLI symmetry; every leg is "
+                             "simulated, so quick and full runs are identical")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail unless goodput scales monotonically with K, the "
+             "cross-shard penalty is reported, forged streams are "
+             "rejected, and serial == parallel (implies --bench)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.bench or args.check or args.json is not None:
+        report = bench(seed=args.seed, jobs=max(2, args.jobs))
+        scaling, cross = report["scaling"], report["cross"]
+        by_k = ", ".join(
+            f"K={k}: {g:.0f}/s" for k, g in scaling["goodput_by_k"].items()
+        )
+        print(
+            f"scaling: {by_k} (gain {scaling['scaling_gain']:.2f}x, "
+            f"monotonic={scaling['monotonic']})"
+        )
+        print(
+            f"cross-shard penalty: {cross['latency_penalty']:.2f}x "
+            f"({cross['mean_cross_latency'] * 1000:.0f} ms cross vs "
+            f"{cross['mean_local_latency'] * 1000:.0f} ms local, "
+            f"{cross['cross_committed']} cross commits, "
+            f"{cross['rejected']} rejected)"
+        )
+        print(f"forged stream rejected: {report['forged_rejected']}")
+        print(f"serial == parallel: {report['results_identical']}")
+        if args.json is not None:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2)
+                handle.write("\n")
+            print(f"wrote {args.json}")
+        if args.check:
+            failures = []
+            if not scaling["monotonic"]:
+                failures.append("goodput does not scale monotonically with K")
+            if not cross["latency_penalty"] or cross["latency_penalty"] < 1.0:
+                failures.append("cross-shard latency penalty missing or < 1")
+            if not report["forged_rejected"]:
+                failures.append("forged stream message was not rejected")
+            if not report["results_identical"]:
+                failures.append("serial and parallel runner results differ")
+            if failures:
+                print("FAIL: " + "; ".join(failures), file=sys.stderr)
+                return 1
+        return 0
+
+    ks = tuple(int(x) for x in args.ks.split(",") if x.strip())
+    suite = specs(
+        ks=ks,
+        n=args.n,
+        offered=args.offered,
+        xfrac=args.xfrac,
+        duration=args.duration,
+        seed=args.seed,
+    )
+    tabulate(suite, runner.execute(suite, jobs=args.jobs))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

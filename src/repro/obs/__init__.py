@@ -28,21 +28,27 @@ from .metrics import (
     NULL_METER,
     Histogram,
     Meter,
+    MeterLike,
     MetricSpec,
+    NamespacedMeter,
     NullMeter,
     UnknownMetric,
     format_meter,
     merge_meters,
+    namespaced_meter,
     register_metric,
 )
 from .registry import EVENT_KINDS, EventKind, register
 from .tracer import (
     DEFAULT_CAPACITY,
     NULL_TRACER,
+    NamespacedTracer,
     NullTracer,
     TraceEvent,
     Tracer,
+    TracerLike,
     UnknownEventKind,
+    namespaced_tracer,
     short_id,
 )
 
@@ -53,17 +59,23 @@ __all__ = [
     "Histogram",
     "METRICS",
     "Meter",
+    "MeterLike",
     "MetricSpec",
     "NULL_METER",
     "NULL_TRACER",
+    "NamespacedMeter",
+    "NamespacedTracer",
     "NullMeter",
     "NullTracer",
     "TraceEvent",
     "Tracer",
+    "TracerLike",
     "UnknownEventKind",
     "UnknownMetric",
     "format_meter",
     "merge_meters",
+    "namespaced_meter",
+    "namespaced_tracer",
     "read_jsonl",
     "register",
     "register_metric",

@@ -38,7 +38,7 @@ from __future__ import annotations
 import json
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import IO, Iterable, Mapping, Sequence
+from typing import IO, Iterable, Mapping, Protocol, Sequence, runtime_checkable
 
 #: Bucket sets shared by several histograms (seconds / bytes / sizes).
 LATENCY_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 10.0)
@@ -98,6 +98,20 @@ class UnknownMetric(KeyError):
 
 class MetricKindMismatch(TypeError):
     """A record call used the wrong instrument for a registered metric."""
+
+
+@runtime_checkable
+class MeterLike(Protocol):
+    """What a meter must provide to be installed on a Simulation or passed
+    as ``ClusterConfig.meter``: an ``enabled`` flag that record sites guard
+    on, plus the three instruments.  :class:`Meter`, :class:`NullMeter` and
+    :class:`NamespacedMeter` all satisfy it."""
+
+    def count(self, name: str, inc: int = 1) -> None: ...
+
+    def gauge(self, name: str, value: float) -> None: ...
+
+    def observe(self, name: str, value: float) -> None: ...
 
 
 # -- simulator ----------------------------------------------------------------
@@ -222,6 +236,35 @@ register_metric(
     unit="s", buckets=LATENCY_BUCKETS,
 )
 
+# -- sharding / xnet streams ---------------------------------------------------
+
+register_metric(
+    "shard.xnet.transfers", "counter", "repro.smr.xnet",
+    "Certified stream messages emitted onto the xnet fabric (one per "
+    "cross-subnet envelope observed on a source commit stream).",
+)
+register_metric(
+    "shard.xnet.delivered", "counter", "repro.smr.xnet",
+    "Stream messages accepted at destination ingress (certificate and "
+    "per-stream sequence checks passed).",
+)
+register_metric(
+    "shard.xnet.rejected", "counter", "repro.smr.xnet",
+    "Stream messages dropped at ingress: bad certificate, out-of-order "
+    "sequence, unknown version or malformed wire bytes.",
+)
+register_metric(
+    "shard.cross.committed", "counter", "repro.smr.sharding",
+    "Cross-shard requests finalized on their destination shard (the end "
+    "of the two-hop source-commit -> stream -> destination-commit path).",
+)
+register_metric(
+    "shard.cross.latency", "histogram", "repro.smr.sharding",
+    "End-to-end cross-shard latency: arrival at the origin shard's "
+    "ingress to finalization on the destination shard.",
+    unit="s", buckets=LATENCY_BUCKETS,
+)
+
 
 # ---------------------------------------------------------------- instruments
 
@@ -304,6 +347,11 @@ class Meter:
 
     def _spec(self, name: str, kind: str) -> MetricSpec:
         spec = METRICS.get(name)
+        if spec is None and "/" in name:
+            # Namespaced record ("shard0/net.messages"): the schema entry
+            # lives under the bare name.  Registry names never contain '/'
+            # (they are dotted), so the split is unambiguous.
+            spec = METRICS.get(name.rsplit("/", 1)[-1])
         if spec is None:
             raise UnknownMetric(
                 f"metric {name!r} is not registered in repro.obs.metrics"
@@ -455,6 +503,67 @@ class NullMeter:
 
     def to_dict(self) -> dict:  # noqa: D102
         return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class NamespacedMeter:
+    """A namespaced view onto a shared meter sink.
+
+    The aggregating twin of ``NamespacedTracer``: embedded clusters record
+    through one of these, and every sample lands in the sink under
+    ``"<namespace>/<name>"`` — so K clusters sharing one meter keep
+    separable counters while :meth:`Meter._spec` still validates against
+    the bare registry name.  Reads resolve the namespaced slice.
+    """
+
+    def __init__(self, sink: MeterLike, namespace: str) -> None:
+        if "/" in namespace or not namespace:
+            raise ValueError(f"meter namespace must be non-empty and '/'-free: {namespace!r}")
+        self.sink = sink
+        self.namespace = namespace
+        self._prefix = namespace + "/"
+
+    @property
+    def enabled(self) -> bool:
+        return bool(getattr(self.sink, "enabled", False))
+
+    def count(self, name: str, inc: int = 1) -> None:
+        self.sink.count(self._prefix + name, inc)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.sink.gauge(self._prefix + name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.sink.observe(self._prefix + name, value)
+
+    # -- queries (resolve this namespace's slice of the sink) --------------
+
+    def counter_value(self, name: str) -> int:
+        return self.sink.counter_value(self._prefix + name)
+
+    def gauge_value(self, name: str) -> float | None:
+        return self.sink.gauge_value(self._prefix + name)
+
+    def histogram(self, name: str) -> Histogram | None:
+        return self.sink.histogram(self._prefix + name)
+
+    def names(self) -> list[str]:
+        """Bare metric names recorded under this namespace."""
+        return sorted(
+            n[len(self._prefix):]
+            for n in self.sink.names()
+            if n.startswith(self._prefix)
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.names())
+
+
+def namespaced_meter(sink: MeterLike, namespace: str) -> MeterLike:
+    """A namespaced view of ``sink`` — or ``sink`` itself when it is
+    disabled (no point wrapping a no-op; keeps the zero-cost guarantee)."""
+    if not getattr(sink, "enabled", False):
+        return sink
+    return NamespacedMeter(sink, namespace)
 
 
 #: The shared default meter; everything points here unless a run installs

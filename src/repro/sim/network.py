@@ -80,6 +80,10 @@ class Network:
         delay_model: DelayModel,
         metrics: Metrics | None = None,
         uplink_bps: float | None = None,
+        *,
+        tracer: object | None = None,
+        meter: object | None = None,
+        rng: object | None = None,
     ) -> None:
         """``uplink_bps`` (optional) models each node's finite upload
         bandwidth: transmissions serialize through the sender's NIC, so a
@@ -88,12 +92,23 @@ class Network:
         turns the leader's (n-1)·S egress into real latency on a WAN — the
         bottleneck effect [35] measures and the reason ICC1/ICC2 exist.
         None = infinite bandwidth (pure propagation-delay model).
+
+        ``tracer``/``meter``/``rng`` (keyword-only) override the
+        simulation-level defaults for this network only.  Embedded
+        clusters use them to keep namespaced observability streams and a
+        private delay-sampling RNG, so K networks sharing one Simulation
+        stay independent of each other's draws; ``None`` (the default)
+        resolves to ``sim.tracer`` / ``sim.meter`` / ``sim.rng`` live,
+        exactly the pre-override behaviour.
         """
         self.sim = sim
         self.n = n
         self.delay_model = delay_model
         self.metrics = metrics if metrics is not None else Metrics(n=n)
         self.uplink_bps = uplink_bps
+        self._tracer_override = tracer
+        self._meter_override = meter
+        self._rng_override = rng
         #: Probability a transmission is delivered twice (transport-level
         #: retries / gossip re-sends).  Protocol state must be idempotent
         #: under duplication — the pool's dedup guarantees it.
@@ -107,6 +122,23 @@ class Network:
         #: ``None`` keeps :meth:`_deliver` on the exact pre-fault-layer path —
         #: the zero-overhead no-op mirror of the disabled tracer.
         self._faults: FaultInterceptor | None = None
+
+    # -- observability / randomness resolution --------------------------------
+
+    @property
+    def tracer(self):
+        """The tracer this network emits through (override or ``sim.tracer``)."""
+        return self._tracer_override if self._tracer_override is not None else self.sim.tracer
+
+    @property
+    def meter(self):
+        """The meter this network records through (override or ``sim.meter``)."""
+        return self._meter_override if self._meter_override is not None else self.sim.meter
+
+    @property
+    def rng(self):
+        """The RNG delay sampling draws from (override or ``sim.rng``)."""
+        return self._rng_override if self._rng_override is not None else self.sim.rng
 
     # -- topology management --------------------------------------------------
 
@@ -125,7 +157,7 @@ class Network:
         if not 1 <= index <= self.n:
             raise ValueError(f"cannot crash party {index}: outside 1..{self.n}")
         self._crashed.add(index)
-        tracer = self.sim.tracer
+        tracer = self.tracer
         if tracer.enabled:
             tracer.emit(time=self.sim.now, party=index, protocol="net",
                         round=None, kind="net.crash")
@@ -145,7 +177,7 @@ class Network:
         if index not in self._crashed:
             raise ValueError(f"cannot revive party {index}: it is not crashed")
         self._crashed.discard(index)
-        tracer = self.sim.tracer
+        tracer = self.tracer
         if tracer.enabled:
             tracer.emit(time=self.sim.now, party=index, protocol="net",
                         round=None, kind="net.revive")
@@ -176,7 +208,7 @@ class Network:
         self._partitions = [(g, heal) for g, heal in self._partitions if heal > now]
         if heal_time > now:
             self._partitions.append((frozenset(group), heal_time))
-        tracer = self.sim.tracer
+        tracer = self.tracer
         if tracer.enabled:
             tracer.emit(time=self.sim.now, party=0, protocol="net", round=None,
                         kind="net.partition",
@@ -229,14 +261,14 @@ class Network:
             return
         size = wire_size(message)
         self.metrics.on_broadcast(sender, size, message_kind(message), round)
-        tracer = self.sim.tracer
+        tracer = self.tracer
         if tracer.enabled:
             tracer.emit(
                 time=self.sim.now, party=sender, protocol="net", round=round,
                 kind="net.broadcast",
                 payload={"kind": message_kind(message), "bytes": size, "copies": self.n},
             )
-        meter = self.sim.meter
+        meter = self.meter
         if meter.enabled:
             meter.count("net.messages", self.n)
             meter.count("net.bytes", size * (self.n - 1))
@@ -257,14 +289,14 @@ class Network:
             return
         size = wire_size(message)
         self.metrics.on_send(sender, size, message_kind(message), round)
-        tracer = self.sim.tracer
+        tracer = self.tracer
         if tracer.enabled:
             tracer.emit(
                 time=self.sim.now, party=sender, protocol="net", round=round,
                 kind="net.send",
                 payload={"kind": message_kind(message), "bytes": size, "receiver": receiver},
             )
-        meter = self.sim.meter
+        meter = self.meter
         if meter.enabled:
             meter.count("net.messages")
             meter.count("net.bytes", size)
@@ -279,7 +311,7 @@ class Network:
         if sender in self._crashed:
             return
         size = wire_size(message)
-        tracer = self.sim.tracer
+        tracer = self.tracer
         if tracer.enabled:
             tracer.emit(
                 time=self.sim.now, party=sender, protocol="net", round=round,
@@ -287,7 +319,7 @@ class Network:
                 payload={"kind": message_kind(message), "bytes": size,
                          "receivers": len(receivers)},
             )
-        meter = self.sim.meter
+        meter = self.meter
         if meter.enabled:
             meter.count("net.messages", len(receivers))
             meter.count("net.bytes", size * len(receivers))
@@ -318,9 +350,9 @@ class Network:
         else:
             sampler = getattr(self.delay_model, "sample_message", None)
             if sampler is not None:
-                delay = sampler(sender, receiver, self.sim.now, message, self.sim.rng)
+                delay = sampler(sender, receiver, self.sim.now, message, self.rng)
             else:
-                delay = self.delay_model.sample(sender, receiver, self.sim.now, self.sim.rng)
+                delay = self.delay_model.sample(sender, receiver, self.sim.now, self.rng)
             delay += self._partition_hold(sender, receiver)
             if sent_at is not None:
                 delay += sent_at - self.sim.now  # NIC serialization time
@@ -340,10 +372,10 @@ class Network:
         if (
             receiver != sender
             and self.duplicate_prob > 0.0
-            and self.sim.rng.random() < self.duplicate_prob
+            and self.rng.random() < self.duplicate_prob
         ):
             # The duplicate trails the original by a fresh delay sample.
-            extra = self.delay_model.sample(sender, receiver, self.sim.now, self.sim.rng)
+            extra = self.delay_model.sample(sender, receiver, self.sim.now, self.rng)
             self.sim.schedule(delay + extra, lambda: self._hand_over(receiver, message))
 
     def _hand_over(self, receiver: int, message: object) -> None:

@@ -19,10 +19,13 @@ from .generators import (
     management_only_source,
 )
 from .population import ClientPopulation, PopulationSpec, ZipfSampler
+from .sharding import ShardLoadSpec, ShardPopulation
 
 __all__ = [
     "BatchSpec",
     "ClientPopulation",
+    "ShardLoadSpec",
+    "ShardPopulation",
     "FastClientAuth",
     "MempoolWorkload",
     "PopulationSpec",

@@ -347,12 +347,16 @@ class RequestBatcher:
 
     # -- wiring ------------------------------------------------------------
 
-    def bind(self, cluster) -> None:
+    def bind(self, cluster, *, tracer=None, meter=None) -> None:
         """Attach to a built cluster: observe commits on the first honest
-        party (completion, latency) and pick up the trace/metric sinks."""
+        party (completion, latency) and pick up the trace/metric sinks.
+
+        ``tracer``/``meter`` override the simulation-level sinks — embedded
+        clusters pass their :class:`~repro.core.cluster.ClusterHandle`
+        views here so per-shard load metrics stay namespaced."""
         self._sim = cluster.sim
-        self._tracer = cluster.sim.tracer
-        self._meter = cluster.sim.meter
+        self._tracer = tracer if tracer is not None else cluster.sim.tracer
+        self._meter = meter if meter is not None else cluster.sim.meter
         observer = cluster.honest_parties[0]
         observer.commit_listeners.append(self._on_commit)
 

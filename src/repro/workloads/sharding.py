@@ -1,0 +1,141 @@
+"""Cross-shard client population: per-shard open-loop load with remote
+addressing.
+
+The sharded deployment (:mod:`repro.smr.sharding`) needs a client model
+where each shard carries its own request stream and a fraction ``xfrac``
+of requests address a *remote* shard: those bodies are wrapped in an xnet
+envelope, finalize on the origin shard (that commit is the certified
+stream entry), cross the fabric, and finalize again on the destination.
+
+Determinism mirrors :class:`~repro.workloads.population.ClientPopulation`:
+every draw comes from per-shard ``Random(f"shard-load/{seed}/{name}")``
+streams — never the simulation RNG — and arrivals are evenly spaced, so a
+deployment run is bit-identical at any ``--jobs`` and with tracing on or
+off.  The population also keeps the origin-side bookkeeping the
+deployment's latency accounting needs: which request ids are cross-shard
+hops, and when each cross-shard body first arrived at its origin ingress.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from random import Random
+from typing import Callable, Sequence
+
+from .batching import RequestBatcher, SignedRequest
+
+__all__ = ["ShardLoadSpec", "ShardPopulation"]
+
+
+@dataclass(frozen=True)
+class ShardLoadSpec:
+    """Per-shard open-loop load shape."""
+
+    #: Offered load per shard, requests/second (evenly spaced arrivals).
+    offered: float = 200.0
+    #: Fraction of requests addressed to a uniformly-chosen remote shard.
+    xfrac: float = 0.0
+    #: Distinct clients per shard (round-robin request attribution).
+    clients: int = 100
+    #: Application body padding (bytes).
+    payload_bytes: int = 64
+    #: Key space for the KV-style bodies.
+    key_space: int = 1000
+    #: Broker tick: arrivals are batched per tick and admitted together.
+    tick: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.offered <= 0:
+            raise ValueError("offered load must be positive")
+        if not 0.0 <= self.xfrac <= 1.0:
+            raise ValueError("xfrac must be in [0, 1]")
+
+
+class ShardPopulation:
+    """Generates each shard's request stream and the cross-shard subset."""
+
+    def __init__(self, spec: ShardLoadSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.seed = seed
+        #: Per shard: request ids of locally-admitted *envelope* requests
+        #: (the origin-side hop of a cross-shard request).
+        self.cross_rids: dict[str, set[bytes]] = {}
+        #: Cross-shard inner body -> (destination shard, origin arrival).
+        self.origin: dict[bytes, tuple[str, float]] = {}
+        self.generated: dict[str, int] = {}
+        self.cross_generated = 0
+
+    def install(
+        self,
+        sim,
+        shards: Sequence[tuple[str, RequestBatcher]],
+        duration: float,
+        start: float = 0.0,
+        envelope: Callable[[str, bytes], bytes] | None = None,
+    ) -> None:
+        """Pre-draw every arrival and schedule per-tick admissions.
+
+        ``shards`` pairs each shard name with its ingress batcher;
+        ``envelope`` wraps (destination, body) into a cross-shard command
+        (defaults to :func:`repro.smr.xnet.make_envelope`).
+        """
+        if envelope is None:
+            from ..smr.xnet import make_envelope
+
+            envelope = make_envelope
+        names = [name for name, _ in shards]
+        for name, batcher in shards:
+            self._install_shard(sim, name, batcher, names, duration, start, envelope)
+
+    def _install_shard(
+        self,
+        sim,
+        name: str,
+        batcher: RequestBatcher,
+        names: Sequence[str],
+        duration: float,
+        start: float,
+        envelope: Callable[[str, bytes], bytes],
+    ) -> None:
+        spec = self.spec
+        rng = Random(f"shard-load/{self.seed}/{name}")
+        others = [n for n in names if n != name]
+        cross_rids = self.cross_rids.setdefault(name, set())
+        count = int(duration * spec.offered)
+        self.generated[name] = count
+        interval = 1.0 / spec.offered
+        seqs: dict[int, int] = {}
+        ticks: dict[int, list[tuple[SignedRequest, float]]] = {}
+        for i in range(count):
+            arrival = start + (i + 1) * interval
+            client = i % spec.clients
+            seq = seqs.get(client, 0)
+            seqs[client] = seq + 1
+            key = rng.randrange(spec.key_space)
+            inner = self._body(name, client, seq, key)
+            cross = bool(others) and rng.random() < spec.xfrac
+            if cross:
+                destination = others[rng.randrange(len(others))]
+                body = envelope(destination, inner)
+            else:
+                body = inner
+            auth = batcher.auth.sign(client, seq, key, body)
+            request = SignedRequest(client=client, seq=seq, key=key, auth=auth, body=body)
+            if cross:
+                cross_rids.add(request.request_id)
+                self.origin[inner] = (destination, arrival)
+                self.cross_generated += 1
+            ticks.setdefault(math.ceil(arrival / spec.tick), []).append((request, arrival))
+        for tick_index, batch in sorted(ticks.items()):
+            sim.schedule_at(
+                tick_index * spec.tick,
+                lambda b=batch: batcher.admit_batch(b),
+            )
+
+    def _body(self, name: str, client: int, seq: int, key: int) -> bytes:
+        """A KV put whose value is globally unique (shard/client/seq), so
+        cross-shard origin lookup by inner body is unambiguous."""
+        body = f"put k{key} {name}:{client}:{seq}:".encode()
+        pad = self.spec.payload_bytes - len(body)
+        return body + b"x" * max(0, pad)

@@ -1,0 +1,151 @@
+"""Tests for the embeddable cluster API (ClusterHandle / embed_cluster).
+
+The pin the sharding subsystem stands on: two clusters embedded in ONE
+Simulation must produce exactly the finalized chains each would produce
+running standalone with the same seed — under fixed *and* random delay
+models (the latter proves the per-cluster RNG streams are isolated, not
+merely unused).  Plus: namespaced trace/metric streams stay separate,
+the simulation's own sinks are restored after embedding, and config
+validation rejects wrong protocol types.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClusterConfig, ClusterHandle, build_cluster, embed_cluster
+from repro.obs import Meter, Tracer
+from repro.sim.delays import FixedDelay, UniformDelay
+from repro.sim.simulator import Simulation
+
+
+def _config(seed, delay_model, rounds=10):
+    return ClusterConfig(
+        n=4, t=1, delta_bound=0.3, epsilon=0.005,
+        delay_model=delay_model, seed=seed, max_rounds=rounds,
+    )
+
+
+def _committed_hashes(cluster):
+    return cluster.honest_parties[0].committed_hashes
+
+
+def _standalone_chain(seed, delay_model, rounds=10):
+    cluster = build_cluster(_config(seed, delay_model, rounds))
+    cluster.start()
+    cluster.sim.run(until=120.0)
+    cluster.check_safety()
+    return _committed_hashes(cluster)
+
+
+class TestBitIdenticalEmbedding:
+    @pytest.mark.parametrize(
+        "delay_model_factory",
+        [lambda: FixedDelay(0.05), lambda: UniformDelay(0.01, 0.12)],
+        ids=["fixed-delay", "uniform-delay"],
+    )
+    def test_two_embedded_equal_two_standalone(self, delay_model_factory):
+        sim = Simulation(seed=999)
+        handles = {}
+        for name, seed in (("alpha", 11), ("beta", 22)):
+            handles[name] = embed_cluster(
+                name, _config(seed, delay_model_factory()), sim
+            )
+            handles[name].start()
+        sim.run(until=120.0)
+        for handle in handles.values():
+            handle.cluster.check_safety()
+
+        for name, seed in (("alpha", 11), ("beta", 22)):
+            embedded = _committed_hashes(handles[name].cluster)
+            standalone = _standalone_chain(seed, delay_model_factory())
+            assert embedded, f"{name}: no commits"
+            assert embedded == standalone, (
+                f"{name}: embedded chain diverged from standalone"
+            )
+
+    def test_sibling_does_not_perturb(self):
+        """Adding a THIRD cluster must not change the other two's chains —
+        per-cluster RNG streams draw independently of who else runs."""
+
+        def run(names_seeds):
+            sim = Simulation(seed=5)
+            handles = {}
+            for name, seed in names_seeds:
+                handles[name] = embed_cluster(
+                    name, _config(seed, UniformDelay(0.01, 0.12)), sim
+                )
+                handles[name].start()
+            sim.run(until=120.0)
+            return {n: _committed_hashes(h.cluster) for n, h in handles.items()}
+
+        two = run([("alpha", 11), ("beta", 22)])
+        three = run([("alpha", 11), ("beta", 22), ("gamma", 33)])
+        assert two["alpha"] == three["alpha"]
+        assert two["beta"] == three["beta"]
+
+
+class TestNamespacedStreams:
+    def test_traces_and_metrics_are_separated(self):
+        sim = Simulation(seed=1)
+        sim.tracer = Tracer()
+        sim.meter = Meter()
+        a = embed_cluster("alpha", _config(11, FixedDelay(0.05)), sim)
+        b = embed_cluster("beta", _config(22, FixedDelay(0.05)), sim)
+        a.start()
+        b.start()
+        sim.run(until=60.0)
+
+        a_commits = a.events("icc.block.committed")
+        b_commits = b.events("icc.block.committed")
+        assert a_commits and b_commits
+        assert all(e.protocol.startswith("alpha/") for e in a_commits)
+        assert all(e.protocol.startswith("beta/") for e in b_commits)
+        # Each handle sees only its own slice of the shared sink.
+        assert len(a_commits) + len(b_commits) == len(
+            sim.tracer.events("icc.block.committed")
+        )
+
+        assert a.counter("net.messages") > 0
+        assert b.counter("net.messages") > 0
+        assert sim.meter.counter_value("alpha/net.messages") == a.counter(
+            "net.messages"
+        )
+
+    def test_sim_sinks_restored_after_embedding(self):
+        sim = Simulation(seed=1)
+        tracer, meter = Tracer(), Meter()
+        sim.tracer = tracer
+        sim.meter = meter
+        embed_cluster("alpha", _config(11, FixedDelay(0.05)), sim)
+        assert sim.tracer is tracer
+        assert sim.meter is meter
+
+    def test_handle_delegation(self):
+        sim = Simulation(seed=1)
+        handle = embed_cluster("alpha", _config(11, FixedDelay(0.05)), sim)
+        assert isinstance(handle, ClusterHandle)
+        assert handle.name == "alpha"
+        assert handle.sim is sim
+        assert handle.config.namespace == "alpha"
+        assert handle.cluster.handle is handle
+
+
+class TestConfigValidation:
+    def test_wrong_delay_policy_type(self):
+        with pytest.raises(TypeError):
+            ClusterConfig(n=4, t=1, protocol_delays=0.75)
+
+    def test_wrong_tracer_type(self):
+        with pytest.raises(TypeError):
+            ClusterConfig(n=4, t=1, tracer="trace.jsonl")
+
+    def test_wrong_meter_type(self):
+        with pytest.raises(TypeError):
+            ClusterConfig(n=4, t=1, meter=object())
+
+    def test_bad_namespace(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n=4, t=1, namespace="a/b")
+        with pytest.raises(ValueError):
+            ClusterConfig(n=4, t=1, namespace="")

@@ -1,8 +1,9 @@
 """Tests for the unified verifier API (``repro.crypto.api``).
 
-Covers: Protocol conformance, batch == single for every scheme, the
-deprecated module-level wrappers delegating to the API, and the API
-signers producing bit-identical output to the module sign functions.
+Covers: Protocol conformance, batch == single for every scheme, the API
+being the *only* verification surface (the deprecated module-level
+``verify`` wrappers are gone), and the API signers producing
+bit-identical output to the module sign functions.
 """
 
 from __future__ import annotations
@@ -90,79 +91,46 @@ class TestAggregateVerifiers:
         assert not suite.multisig.verify(pk, b"notarize", short)
 
 
-class TestDeprecatedWrappers:
-    """Module-level verify functions must delegate to the API verifiers."""
+class TestApiIsOnlyVerifySurface:
+    """The deprecated module-level ``verify`` wrappers are removed; the
+    scheme modules expose keygen/sign/combine only, and all verification
+    goes through :func:`repro.crypto.api.verifiers_for`."""
 
-    def test_schnorr_delegates(self, group, rng, monkeypatch):
-        pair = schnorr.keygen(group, rng)
-        sig = schnorr.sign(group, pair.secret, b"m", rng)
-        calls = []
+    def test_wrappers_are_gone(self):
+        for module in (schnorr, dleq, unique, threshold, multisig):
+            assert not hasattr(module, "verify"), module.__name__
+        for module in (threshold, multisig):
+            assert not hasattr(module, "verify_share"), module.__name__
+
+    def test_api_covers_every_scheme(self, group, rng):
         suite = _suite(group)
-        original = suite.schnorr.verify
-        monkeypatch.setattr(
-            suite.schnorr, "verify",
-            lambda *args: calls.append(args) or original(*args),
-        )
-        assert schnorr.verify(group, pair.public, b"m", sig)
-        assert calls == [(pair.public, b"m", sig)]
 
-    def test_dleq_delegates(self, group, rng, monkeypatch):
         secret = group.random_scalar(rng)
+        usig = unique.sign(group, secret, b"m", rng)
+        assert suite.unique.verify(group.power_g(secret), b"m", usig)
+
         h2 = message_point(group, b"m")
         proof = dleq.prove(group, secret, group.g, h2, rng)
         statement = DleqStatement(
             group.g, group.power_g(secret), h2, group.power(h2, secret)
         )
-        calls = []
-        suite = _suite(group)
-        original = suite.dleq.verify
-        monkeypatch.setattr(
-            suite.dleq, "verify",
-            lambda *args: calls.append(args) or original(*args),
-        )
-        assert dleq.verify(group, statement.g1, statement.a, statement.g2, statement.b, proof)
-        assert calls and calls[0][0] == statement
-
-    def test_unique_threshold_multisig_delegate(self, group, rng, monkeypatch):
-        suite = _suite(group)
-        seen = []
-
-        def spy(verifier, name):
-            original = verifier.verify
-            monkeypatch.setattr(
-                verifier, "verify",
-                lambda *args: seen.append(name) or original(*args),
-            )
-
-        spy(suite.unique, "unique")
-        spy(suite.threshold_share, "threshold_share")
-        spy(suite.threshold, "threshold")
-        spy(suite.multisig_share, "multisig_share")
-        spy(suite.multisig, "multisig")
-
-        secret = group.random_scalar(rng)
-        usig = unique.sign(group, secret, b"m", rng)
-        assert unique.verify(group, group.power_g(secret), b"m", usig)
+        assert suite.dleq.verify(statement, b"", proof)
 
         tpk, tkeys = threshold.keygen(group, threshold=2, n=3, rng=rng)
         tshare = threshold.sign_share(tpk, tkeys[0], b"m", rng)
-        assert threshold.verify_share(tpk, b"m", tshare)
+        assert suite.threshold_share.verify(tpk, b"m", tshare)
         tsig = threshold.combine(
             tpk, b"m", [threshold.sign_share(tpk, k, b"m", rng) for k in tkeys[:2]]
         )
-        assert threshold.verify(tpk, b"m", tsig)
+        assert suite.threshold.verify(tpk, b"m", tsig)
 
         mpk, mkeys = multisig.keygen(group, threshold=2, n=3, rng=rng)
         mshare = multisig.sign_share(mpk, mkeys[0], b"m", rng)
-        assert multisig.verify_share(mpk, b"m", mshare)
+        assert suite.multisig_share.verify(mpk, b"m", mshare)
         msig = multisig.combine(
             mpk, b"m", [multisig.sign_share(mpk, k, b"m", rng) for k in mkeys[:2]]
         )
-        assert multisig.verify(mpk, b"m", msig)
-
-        assert set(seen) == {
-            "unique", "threshold_share", "threshold", "multisig_share", "multisig",
-        }
+        assert suite.multisig.verify(mpk, b"m", msig)
 
 
 class TestSignerBitIdentity:

@@ -7,6 +7,7 @@ from random import Random
 import pytest
 
 from repro.crypto import threshold
+from repro.crypto.api import verifiers_for
 from repro.crypto.dkg import Deal, make_deal, run_dkg, verify_share
 from repro.crypto.keyring import generate_keyrings
 
@@ -21,9 +22,9 @@ class TestHonestRun:
             threshold.sign_share(result.public, k, b"msg", rng)
             for k in result.key_shares[:3]
         ]
-        assert all(threshold.verify_share(result.public, b"msg", s) for s in shares)
+        assert all(verifiers_for(group).threshold_share.verify(result.public, b"msg", s) for s in shares)
         sig = threshold.combine(result.public, b"msg", shares)
-        assert threshold.verify(result.public, b"msg", sig)
+        assert verifiers_for(group).threshold.verify(result.public, b"msg", sig)
 
     def test_uniqueness_across_subsets(self, group, rng):
         result = run_dkg(group, h=3, n=7, rng=rng)
@@ -89,7 +90,7 @@ class TestByzantineDealers:
             for k in result.key_shares[:3]
         ]
         sig = threshold.combine(result.public, b"m", shares)
-        assert threshold.verify(result.public, b"m", sig)
+        assert verifiers_for(group).threshold.verify(result.public, b"m", sig)
 
     def test_malformed_deal_disqualified(self, group, rng):
         def truncate(deal: Deal) -> Deal:
@@ -110,7 +111,7 @@ class TestByzantineDealers:
             for k in result.key_shares[4:7]
         ]
         sig = threshold.combine(result.public, b"m", shares)
-        assert threshold.verify(result.public, b"m", sig)
+        assert verifiers_for(group).threshold.verify(result.public, b"m", sig)
 
     def test_all_dealers_corrupt_fails_loudly(self, group, rng):
         def garbage(deal: Deal) -> Deal:

@@ -7,6 +7,12 @@ from random import Random
 import pytest
 
 from repro.crypto import multisig
+from repro.crypto.api import verifiers_for
+
+
+@pytest.fixture(scope="module")
+def suite(group):
+    return verifiers_for(group)
 
 
 @pytest.fixture(scope="module")
@@ -17,77 +23,77 @@ def setup(group):
 
 
 class TestShares:
-    def test_sign_verify_share(self, setup):
+    def test_sign_verify_share(self, setup, suite):
         pk, keys, rng = setup
         share = multisig.sign_share(pk, keys[0], b"block", rng)
-        assert multisig.verify_share(pk, b"block", share)
+        assert suite.multisig_share.verify(pk, b"block", share)
 
-    def test_share_identifies_signer(self, setup):
+    def test_share_identifies_signer(self, setup, suite):
         pk, keys, rng = setup
         share = multisig.sign_share(pk, keys[2], b"block", rng)
         assert share.index == 3
 
-    def test_wrong_message_rejected(self, setup):
+    def test_wrong_message_rejected(self, setup, suite):
         pk, keys, rng = setup
         share = multisig.sign_share(pk, keys[0], b"block", rng)
-        assert not multisig.verify_share(pk, b"other", share)
+        assert not suite.multisig_share.verify(pk, b"other", share)
 
-    def test_reassigned_index_rejected(self, setup):
+    def test_reassigned_index_rejected(self, setup, suite):
         pk, keys, rng = setup
         share = multisig.sign_share(pk, keys[0], b"m", rng)
         forged = multisig.MultisigShare(index=2, signature=share.signature)
-        assert not multisig.verify_share(pk, b"m", forged)
+        assert not suite.multisig_share.verify(pk, b"m", forged)
 
-    def test_out_of_range_index_rejected(self, setup):
+    def test_out_of_range_index_rejected(self, setup, suite):
         pk, keys, rng = setup
         share = multisig.sign_share(pk, keys[0], b"m", rng)
         forged = multisig.MultisigShare(index=0, signature=share.signature)
-        assert not multisig.verify_share(pk, b"m", forged)
+        assert not suite.multisig_share.verify(pk, b"m", forged)
 
 
 class TestAggregate:
-    def test_combine_verify(self, setup):
+    def test_combine_verify(self, setup, suite):
         pk, keys, rng = setup
         shares = [multisig.sign_share(pk, k, b"m", rng) for k in keys[:3]]
         agg = multisig.combine(pk, b"m", shares)
-        assert multisig.verify(pk, b"m", agg)
+        assert suite.multisig.verify(pk, b"m", agg)
 
-    def test_signatories_descriptor(self, setup):
+    def test_signatories_descriptor(self, setup, suite):
         """Approach (ii) signatures identify the signatories (Section 2.3)."""
         pk, keys, rng = setup
         shares = [multisig.sign_share(pk, k, b"m", rng) for k in (keys[1], keys[3], keys[4])]
         agg = multisig.combine(pk, b"m", shares)
         assert set(agg.signatories) == {2, 4, 5}
 
-    def test_combine_dedupes(self, setup):
+    def test_combine_dedupes(self, setup, suite):
         pk, keys, rng = setup
         s0 = multisig.sign_share(pk, keys[0], b"m", rng)
         shares = [s0, s0] + [multisig.sign_share(pk, k, b"m", rng) for k in keys[1:3]]
         agg = multisig.combine(pk, b"m", shares)
         assert len(set(agg.signatories)) == 3
 
-    def test_too_few_raises(self, setup):
+    def test_too_few_raises(self, setup, suite):
         pk, keys, rng = setup
         shares = [multisig.sign_share(pk, k, b"m", rng) for k in keys[:2]]
         with pytest.raises(ValueError):
             multisig.combine(pk, b"m", shares)
 
-    def test_below_threshold_aggregate_rejected(self, setup):
+    def test_below_threshold_aggregate_rejected(self, setup, suite):
         pk, keys, rng = setup
         shares = [multisig.sign_share(pk, k, b"m", rng) for k in keys[:3]]
         agg = multisig.combine(pk, b"m", shares)
         stripped = multisig.Multisignature(shares=agg.shares[:2])
-        assert not multisig.verify(pk, b"m", stripped)
+        assert not suite.multisig.verify(pk, b"m", stripped)
 
-    def test_wrong_message_rejected(self, setup):
+    def test_wrong_message_rejected(self, setup, suite):
         pk, keys, rng = setup
         shares = [multisig.sign_share(pk, k, b"m", rng) for k in keys[:3]]
         agg = multisig.combine(pk, b"m", shares)
-        assert not multisig.verify(pk, b"other", agg)
+        assert not suite.multisig.verify(pk, b"other", agg)
 
-    def test_duplicate_padding_rejected(self, setup):
+    def test_duplicate_padding_rejected(self, setup, suite):
         """An aggregate padded with duplicates of one signer must not pass."""
         pk, keys, rng = setup
         s0 = multisig.sign_share(pk, keys[0], b"m", rng)
         fake = multisig.Multisignature(shares=(s0, s0, s0))
-        assert not multisig.verify(pk, b"m", fake)
+        assert not suite.multisig.verify(pk, b"m", fake)

@@ -7,6 +7,7 @@ from random import Random
 import pytest
 
 from repro.crypto import threshold
+from repro.crypto.api import verifiers_for
 from repro.crypto.resharing import (
     ReshareDeal,
     ResharingError,
@@ -34,9 +35,9 @@ class TestHonestResharing:
         group, public, keys, rng = setup
         new_public, new_keys = reshare(group, public, keys[:3], rng)
         shares = [threshold.sign_share(new_public, k, b"m", rng) for k in new_keys[:3]]
-        assert all(threshold.verify_share(new_public, b"m", s) for s in shares)
+        assert all(verifiers_for(group).threshold_share.verify(new_public, b"m", s) for s in shares)
         sig = threshold.combine(new_public, b"m", shares)
-        assert threshold.verify(new_public, b"m", sig)
+        assert verifiers_for(group).threshold.verify(new_public, b"m", sig)
 
     def test_signature_value_identical_across_epochs(self, setup):
         """The unique signature (hence the beacon chain) is epoch-invariant."""
@@ -69,8 +70,8 @@ class TestHonestResharing:
         sig = threshold.combine(public, b"m", mixed)
         # The combination is syntactically possible but cryptographically
         # wrong: it fails verification under either public key.
-        assert not threshold.verify(public, b"m", sig)
-        assert not threshold.verify(new_public, b"m", sig)
+        assert not verifiers_for(group).threshold.verify(public, b"m", sig)
+        assert not verifiers_for(group).threshold.verify(new_public, b"m", sig)
 
     def test_chained_epochs(self, setup):
         group, public, keys, rng = setup
@@ -80,7 +81,7 @@ class TestHonestResharing:
         sig = threshold.combine(
             p2, b"x", [threshold.sign_share(p2, k, b"x", rng) for k in k2[:3]]
         )
-        assert threshold.verify(p2, b"x", sig)
+        assert verifiers_for(group).threshold.verify(p2, b"x", sig)
 
     def test_any_contributor_subset_equivalent(self, setup):
         """Different contributor sets produce different shares but the

@@ -1,59 +1,73 @@
-"""Tests for Schnorr signatures, DLEQ proofs and unique signatures."""
+"""Tests for Schnorr signatures, DLEQ proofs and unique signatures.
+
+Verification goes through :mod:`repro.crypto.api` (the only verification
+surface since the deprecated module-level ``verify`` wrappers were
+removed); signing and keygen stay on the scheme modules.
+"""
 
 from __future__ import annotations
 
 from random import Random
 
+import pytest
+
 from repro.crypto import dleq, schnorr, unique
+from repro.crypto.api import verifiers_for
+from repro.crypto.dleq import DleqStatement
+
+
+@pytest.fixture(scope="module")
+def suite(group):
+    return verifiers_for(group)
 
 
 class TestSchnorr:
-    def test_sign_verify(self, group, rng):
+    def test_sign_verify(self, group, rng, suite):
         keys = schnorr.keygen(group, rng)
         sig = schnorr.sign(group, keys.secret, b"hello", rng)
-        assert schnorr.verify(group, keys.public, b"hello", sig)
+        assert suite.schnorr.verify(keys.public, b"hello", sig)
 
-    def test_wrong_message_rejected(self, group, rng):
+    def test_wrong_message_rejected(self, group, rng, suite):
         keys = schnorr.keygen(group, rng)
         sig = schnorr.sign(group, keys.secret, b"hello", rng)
-        assert not schnorr.verify(group, keys.public, b"goodbye", sig)
+        assert not suite.schnorr.verify(keys.public, b"goodbye", sig)
 
-    def test_wrong_key_rejected(self, group, rng):
+    def test_wrong_key_rejected(self, group, rng, suite):
         keys = schnorr.keygen(group, rng)
         other = schnorr.keygen(group, rng)
         sig = schnorr.sign(group, keys.secret, b"hello", rng)
-        assert not schnorr.verify(group, other.public, b"hello", sig)
+        assert not suite.schnorr.verify(other.public, b"hello", sig)
 
-    def test_tampered_response_rejected(self, group, rng):
+    def test_tampered_response_rejected(self, group, rng, suite):
         keys = schnorr.keygen(group, rng)
         sig = schnorr.sign(group, keys.secret, b"m", rng)
         bad = schnorr.SchnorrSignature(sig.commitment, (sig.response + 1) % group.q)
-        assert not schnorr.verify(group, keys.public, b"m", bad)
+        assert not suite.schnorr.verify(keys.public, b"m", bad)
 
-    def test_tampered_commitment_rejected(self, group, rng):
+    def test_tampered_commitment_rejected(self, group, rng, suite):
         keys = schnorr.keygen(group, rng)
         sig = schnorr.sign(group, keys.secret, b"m", rng)
         bad = schnorr.SchnorrSignature(group.power_g(3), sig.response)
-        assert not schnorr.verify(group, keys.public, b"m", bad)
+        assert not suite.schnorr.verify(keys.public, b"m", bad)
 
-    def test_out_of_range_values_rejected(self, group, rng):
+    def test_out_of_range_values_rejected(self, group, rng, suite):
         keys = schnorr.keygen(group, rng)
         sig = schnorr.sign(group, keys.secret, b"m", rng)
-        assert not schnorr.verify(
-            group, keys.public, b"m",
+        assert not suite.schnorr.verify(
+            keys.public, b"m",
             schnorr.SchnorrSignature(sig.commitment, group.q + sig.response),
         )
-        assert not schnorr.verify(
-            group, keys.public, b"m", schnorr.SchnorrSignature(0, sig.response)
+        assert not suite.schnorr.verify(
+            keys.public, b"m", schnorr.SchnorrSignature(0, sig.response)
         )
 
-    def test_signatures_are_randomized(self, group, rng):
+    def test_signatures_are_randomized(self, group, rng, suite):
         keys = schnorr.keygen(group, rng)
         a = schnorr.sign(group, keys.secret, b"m", rng)
         b = schnorr.sign(group, keys.secret, b"m", rng)
         assert a != b  # fresh nonce each time
-        assert schnorr.verify(group, keys.public, b"m", a)
-        assert schnorr.verify(group, keys.public, b"m", b)
+        assert suite.schnorr.verify(keys.public, b"m", a)
+        assert suite.schnorr.verify(keys.public, b"m", b)
 
     def test_to_bytes_length(self, group, rng):
         keys = schnorr.keygen(group, rng)
@@ -64,51 +78,47 @@ class TestSchnorr:
 
 
 class TestDleq:
-    def test_prove_verify(self, group, rng):
+    def test_prove_verify(self, group, rng, suite):
         x = group.random_scalar(rng)
         g2 = group.hash_to_group("base2", b"x")
         proof = dleq.prove(group, x, group.g, g2, rng)
-        assert dleq.verify(
-            group, group.g, group.power_g(x), g2, group.power(g2, x), proof
-        )
+        statement = DleqStatement(group.g, group.power_g(x), g2, group.power(g2, x))
+        assert suite.dleq.verify(statement, b"", proof)
 
-    def test_wrong_statement_rejected(self, group, rng):
+    def test_wrong_statement_rejected(self, group, rng, suite):
         x = group.random_scalar(rng)
         y = (x + 1) % group.q
         g2 = group.hash_to_group("base2", b"x")
         proof = dleq.prove(group, x, group.g, g2, rng)
         # B = g2^y with y != x: proof must not verify.
-        assert not dleq.verify(
-            group, group.g, group.power_g(x), g2, group.power(g2, y), proof
-        )
+        statement = DleqStatement(group.g, group.power_g(x), g2, group.power(g2, y))
+        assert not suite.dleq.verify(statement, b"", proof)
 
-    def test_tampered_proof_rejected(self, group, rng):
+    def test_tampered_proof_rejected(self, group, rng, suite):
         x = group.random_scalar(rng)
         g2 = group.hash_to_group("base2", b"x")
         proof = dleq.prove(group, x, group.g, g2, rng)
+        statement = DleqStatement(group.g, group.power_g(x), g2, group.power(g2, x))
         bad = dleq.DleqProof(
             proof.commitment1, proof.commitment2, (proof.response + 1) % group.q
         )
-        assert not dleq.verify(
-            group, group.g, group.power_g(x), g2, group.power(g2, x), bad
-        )
+        assert not suite.dleq.verify(statement, b"", bad)
         swapped = dleq.DleqProof(proof.commitment2, proof.commitment1, proof.response)
-        assert not dleq.verify(
-            group, group.g, group.power_g(x), g2, group.power(g2, x), swapped
-        )
+        assert not suite.dleq.verify(statement, b"", swapped)
 
-    def test_non_element_inputs_rejected(self, group, rng):
+    def test_non_element_inputs_rejected(self, group, rng, suite):
         x = group.random_scalar(rng)
         g2 = group.hash_to_group("base2", b"x")
         proof = dleq.prove(group, x, group.g, g2, rng)
-        assert not dleq.verify(group, 0, group.power_g(x), g2, group.power(g2, x), proof)
+        statement = DleqStatement(0, group.power_g(x), g2, group.power(g2, x))
+        assert not suite.dleq.verify(statement, b"", proof)
 
 
 class TestUniqueSignature:
-    def test_sign_verify(self, group, rng):
+    def test_sign_verify(self, group, rng, suite):
         keys = schnorr.keygen(group, rng)
         sig = unique.sign(group, keys.secret, b"msg", rng)
-        assert unique.verify(group, keys.public, b"msg", sig)
+        assert suite.unique.verify(keys.public, b"msg", sig)
 
     def test_value_is_unique(self, group, rng):
         """The signature *value* is message+key determined (beacon property)."""
@@ -124,14 +134,14 @@ class TestUniqueSignature:
         b = unique.sign(group, keys.secret, b"m2", rng)
         assert a.value != b.value
 
-    def test_wrong_key_rejected(self, group, rng):
+    def test_wrong_key_rejected(self, group, rng, suite):
         keys = schnorr.keygen(group, rng)
         other = schnorr.keygen(group, rng)
         sig = unique.sign(group, keys.secret, b"msg", rng)
-        assert not unique.verify(group, other.public, b"msg", sig)
+        assert not suite.unique.verify(other.public, b"msg", sig)
 
-    def test_forged_value_rejected(self, group, rng):
+    def test_forged_value_rejected(self, group, rng, suite):
         keys = schnorr.keygen(group, rng)
         sig = unique.sign(group, keys.secret, b"msg", rng)
         forged = unique.UniqueSignature(value=group.power_g(7), proof=sig.proof)
-        assert not unique.verify(group, keys.public, b"msg", forged)
+        assert not suite.unique.verify(keys.public, b"msg", forged)

@@ -5,6 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.crypto import threshold
+from repro.crypto.api import verifiers_for
+
+
+@pytest.fixture(scope="module")
+def suite(group):
+    return verifiers_for(group)
 
 
 @pytest.fixture(scope="module")
@@ -34,35 +40,35 @@ class TestKeygen:
 
 
 class TestShares:
-    def test_share_sign_verify(self, setup):
+    def test_share_sign_verify(self, setup, suite):
         group, pk, keys, rng = setup
         share = threshold.sign_share(pk, keys[0], b"message", rng)
-        assert threshold.verify_share(pk, b"message", share)
+        assert suite.threshold_share.verify(pk, b"message", share)
 
-    def test_share_wrong_message_rejected(self, setup):
+    def test_share_wrong_message_rejected(self, setup, suite):
         group, pk, keys, rng = setup
         share = threshold.sign_share(pk, keys[0], b"message", rng)
-        assert not threshold.verify_share(pk, b"other", share)
+        assert not suite.threshold_share.verify(pk, b"other", share)
 
-    def test_share_wrong_index_rejected(self, setup):
+    def test_share_wrong_index_rejected(self, setup, suite):
         group, pk, keys, rng = setup
         share = threshold.sign_share(pk, keys[0], b"m", rng)
         forged = threshold.SignatureShare(index=2, value=share.value, proof=share.proof)
-        assert not threshold.verify_share(pk, b"m", forged)
+        assert not suite.threshold_share.verify(pk, b"m", forged)
 
-    def test_share_index_out_of_range_rejected(self, setup):
+    def test_share_index_out_of_range_rejected(self, setup, suite):
         group, pk, keys, rng = setup
         share = threshold.sign_share(pk, keys[0], b"m", rng)
         forged = threshold.SignatureShare(index=99, value=share.value, proof=share.proof)
-        assert not threshold.verify_share(pk, b"m", forged)
+        assert not suite.threshold_share.verify(pk, b"m", forged)
 
 
 class TestCombine:
-    def test_combine_and_verify(self, setup):
+    def test_combine_and_verify(self, setup, suite):
         group, pk, keys, rng = setup
         shares = [threshold.sign_share(pk, k, b"m", rng) for k in keys[:3]]
         sig = threshold.combine(pk, b"m", shares)
-        assert threshold.verify(pk, b"m", sig)
+        assert suite.threshold.verify(pk, b"m", sig)
 
     def test_uniqueness_across_share_subsets(self, setup):
         """The combined value is identical for ANY valid share subset —
@@ -102,22 +108,22 @@ class TestCombine:
         with pytest.raises(ValueError):
             threshold.combine(pk, b"m", [share, share, share])
 
-    def test_forged_combined_rejected(self, setup):
+    def test_forged_combined_rejected(self, setup, suite):
         group, pk, keys, rng = setup
         shares = [threshold.sign_share(pk, k, b"m", rng) for k in keys[:3]]
         sig = threshold.combine(pk, b"m", shares)
         forged = threshold.ThresholdSignature(value=group.power_g(5), shares=sig.shares)
-        assert not threshold.verify(pk, b"m", forged)
+        assert not suite.threshold.verify(pk, b"m", forged)
 
-    def test_combined_wrong_message_rejected(self, setup):
+    def test_combined_wrong_message_rejected(self, setup, suite):
         group, pk, keys, rng = setup
         shares = [threshold.sign_share(pk, k, b"m", rng) for k in keys[:3]]
         sig = threshold.combine(pk, b"m", shares)
-        assert not threshold.verify(pk, b"other", sig)
+        assert not suite.threshold.verify(pk, b"other", sig)
 
-    def test_verify_rejects_insufficient_carried_shares(self, setup):
+    def test_verify_rejects_insufficient_carried_shares(self, setup, suite):
         group, pk, keys, rng = setup
         shares = [threshold.sign_share(pk, k, b"m", rng) for k in keys[:3]]
         sig = threshold.combine(pk, b"m", shares)
         stripped = threshold.ThresholdSignature(value=sig.value, shares=sig.shares[:2])
-        assert not threshold.verify(pk, b"m", stripped)
+        assert not suite.threshold.verify(pk, b"m", stripped)

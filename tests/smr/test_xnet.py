@@ -8,7 +8,7 @@ from repro.core import ClusterConfig, build_cluster
 from repro.sim.delays import FixedDelay
 from repro.sim.simulator import Simulation
 from repro.smr import ClientFrontend
-from repro.smr.xnet import XNet, make_envelope, parse_envelope
+from repro.smr.xnet import EnvelopeError, XNet, is_envelope, make_envelope, parse_envelope
 
 
 def two_subnets(seed=1, rounds=400):
@@ -38,14 +38,18 @@ class TestEnvelope:
         assert parse_envelope(env) == ("beta", b"hello")
 
     def test_non_envelope(self):
-        assert parse_envelope(b"ordinary command") is None
+        assert not is_envelope(b"ordinary command")
+        with pytest.raises(EnvelopeError):
+            parse_envelope(b"ordinary command")
 
     def test_bad_destination(self):
         with pytest.raises(ValueError):
             make_envelope("a\x1fb", b"x")
 
     def test_malformed_envelope(self):
-        assert parse_envelope(b"xnet\x1fno-separator") is None
+        assert is_envelope(b"xnet\x1fno-separator")  # tagged, but broken
+        with pytest.raises(EnvelopeError):
+            parse_envelope(b"xnet\x1fno-separator")
 
 
 class TestRouting:

@@ -149,6 +149,70 @@ class TestGateLoad:
         ) == []
 
 
+def shard_report(gain=4.0, penalty=2.4, monotonic=True, forged=True, identical=True) -> dict:
+    return {
+        "benchmark": "multi-subnet sharding",
+        "scaling": {
+            "ks": [1, 2, 4],
+            "goodput_by_k": {"1": 200.0, "2": 400.0, "4": 800.0},
+            "scaling_gain": gain,
+            "monotonic": monotonic,
+        },
+        "cross": {
+            "xfrac": 0.25,
+            "latency_penalty": penalty,
+            "cross_committed": 208,
+            "rejected": 0,
+        },
+        "forged_rejected": forged,
+        "results_identical": identical,
+    }
+
+
+class TestGateShard:
+    def test_identical_snapshots_pass(self):
+        assert bench_gate.gate_shard(shard_report(), shard_report(), 0.25) == []
+
+    def test_scaling_gain_regression_fails(self):
+        failures = bench_gate.gate_shard(
+            shard_report(gain=4.0), shard_report(gain=2.0), 0.25
+        )
+        assert any("scaling_gain" in f for f in failures)
+
+    def test_nonmonotonic_scaling_fails_either_side(self):
+        failures = bench_gate.gate_shard(
+            shard_report(monotonic=False), shard_report(), 0.25
+        )
+        assert any("committed" in f and "monotonically" in f for f in failures)
+        failures = bench_gate.gate_shard(
+            shard_report(), shard_report(monotonic=False), 0.25
+        )
+        assert any("fresh" in f and "monotonically" in f for f in failures)
+
+    def test_unrejected_forgery_fails(self):
+        failures = bench_gate.gate_shard(
+            shard_report(), shard_report(forged=False), 0.25
+        )
+        assert any("forged" in f for f in failures)
+
+    def test_nonidentical_results_fail(self):
+        failures = bench_gate.gate_shard(
+            shard_report(), shard_report(identical=False), 0.25
+        )
+        assert any("parallel" in f for f in failures)
+
+    def test_sub_one_penalty_fails(self):
+        failures = bench_gate.gate_shard(
+            shard_report(penalty=0.5), shard_report(penalty=0.5), 0.25
+        )
+        assert any("cannot be faster" in f for f in failures)
+
+    def test_improvement_always_passes(self):
+        assert bench_gate.gate_shard(
+            shard_report(gain=3.0), shard_report(gain=4.0), 0.25
+        ) == []
+
+
 class TestAuditSnapshot:
     def test_single_core_numeric_speedup_is_nonsense(self):
         failures = bench_gate.audit_snapshot(runner_report(0.683, cores=1))
@@ -180,6 +244,17 @@ class TestCommittedSnapshots:
         assert report["sim"]["batching_gain"] > 1.0
         assert report["auth"]["speedup"] >= 1.0
 
+    def test_committed_shard_snapshot_is_sane(self):
+        with open(bench_gate.SHARD_BASELINE, encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert report["scaling"]["monotonic"] is True
+        assert report["scaling"]["scaling_gain"] > 1.0
+        assert report["cross"]["latency_penalty"] >= 1.0
+        assert report["forged_rejected"] is True
+        assert report["results_identical"] is True
+        # Gating the committed snapshot against itself must pass.
+        assert bench_gate.gate_shard(report, report, 0.25) == []
+
 
 class TestMain:
     def _write(self, path, data):
@@ -201,9 +276,24 @@ class TestMain:
             self._write(tmp_path / "lb.json", load_report()),
             "--load-fresh",
             self._write(tmp_path / "lf.json", load_report(gain=22.0)),
+            "--shard-baseline",
+            self._write(tmp_path / "sb.json", shard_report()),
+            "--shard-fresh",
+            self._write(tmp_path / "sf.json", shard_report(gain=3.8)),
         ])
         assert status == 0
         assert "passed" in capsys.readouterr().out
+
+    def test_main_fails_on_shard_regression(self, tmp_path, capsys):
+        status = bench_gate.main([
+            "--shard-baseline",
+            self._write(tmp_path / "sb.json", shard_report()),
+            "--shard-fresh",
+            self._write(tmp_path / "sf.json", shard_report(identical=False)),
+            "--skip-crypto", "--skip-runner", "--skip-load",
+        ])
+        assert status == 1
+        assert "FAILED" in capsys.readouterr().out
 
     def test_main_fails_on_regression(self, tmp_path, capsys):
         status = bench_gate.main([
@@ -211,7 +301,7 @@ class TestMain:
             self._write(tmp_path / "cb.json", crypto_report({"schnorr": 10.0})),
             "--crypto-fresh",
             self._write(tmp_path / "cf.json", crypto_report({"schnorr": 2.0})),
-            "--skip-runner", "--skip-load",
+            "--skip-runner", "--skip-load", "--skip-shard",
         ])
         assert status == 1
         assert "FAILED" in capsys.readouterr().out
@@ -222,7 +312,7 @@ class TestMain:
             self._write(tmp_path / "lb.json", load_report()),
             "--load-fresh",
             self._write(tmp_path / "lf.json", load_report(match=False)),
-            "--skip-crypto", "--skip-runner",
+            "--skip-crypto", "--skip-runner", "--skip-shard",
         ])
         assert status == 1
         assert "FAILED" in capsys.readouterr().out
@@ -234,7 +324,7 @@ class TestMain:
         status = bench_gate.main([
             "--crypto-baseline", str(baseline),
             "--crypto-fresh", self._write(tmp_path / "cf.json", fresh),
-            "--skip-runner", "--skip-load", "--update",
+            "--skip-runner", "--skip-load", "--skip-shard", "--update",
         ])
         assert status == 0
         assert json.loads(baseline.read_text()) == fresh
@@ -246,7 +336,7 @@ class TestMain:
         status = bench_gate.main([
             "--runner-baseline", str(baseline),
             "--runner-fresh", self._write(tmp_path / "rf.json", bad),
-            "--skip-crypto", "--skip-load", "--update",
+            "--skip-crypto", "--skip-load", "--skip-shard", "--update",
         ])
         assert status == 1
         assert json.loads(baseline.read_text()) == runner_report(2.0)

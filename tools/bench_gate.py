@@ -1,23 +1,28 @@
 #!/usr/bin/env python3
 """Bench regression gate: committed snapshots vs a fresh quick run.
 
-The repository commits three benchmark snapshots — ``BENCH_crypto.json``
+The repository commits four benchmark snapshots — ``BENCH_crypto.json``
 (crypto fast path, written by ``python -m repro bench --json``),
 ``BENCH_runner.json`` (experiment runner, ``python -m repro bench-runner
---json``) and ``BENCH_load.json`` (load/batching pipeline, ``python -m
-repro load --bench --json``).  This gate re-runs the benchmarks in
-``--quick`` mode and compares the *ratio* metrics (batch-verification
-speedups, runner speedup, setup-cache speedup, batching gain) against
-the committed values with a relative tolerance band.  Absolute
-throughput is machine-dependent and is never gated; ratios of two
-timings on the same machine are what the snapshots actually promise.
+--json``), ``BENCH_load.json`` (load/batching pipeline, ``python -m
+repro load --bench --json``) and ``BENCH_shard.json`` (multi-subnet
+sharding, ``python -m repro shard --bench --json``).  This gate re-runs
+the benchmarks in ``--quick`` mode and compares the *ratio* metrics
+(batch-verification speedups, runner speedup, setup-cache speedup,
+batching gain, shard scaling gain) against the committed values with a
+relative tolerance band.  Absolute throughput is machine-dependent and
+is never gated; ratios of two timings on the same machine are what the
+snapshots actually promise.  (The shard legs are measured in simulation
+time and are bit-reproducible; they still go through the ratio check so
+an intentional re-baseline only needs ``--update``.)
 
 Usage::
 
     python tools/bench_gate.py [--tolerance 0.25] [--update]
         [--crypto-baseline PATH] [--runner-baseline PATH]
-        [--load-baseline PATH] [--crypto-fresh PATH]
-        [--runner-fresh PATH] [--load-fresh PATH]
+        [--load-baseline PATH] [--shard-baseline PATH]
+        [--crypto-fresh PATH] [--runner-fresh PATH]
+        [--load-fresh PATH] [--shard-fresh PATH]
 
 Passing ``--*-fresh`` files skips running that benchmark (useful for
 tests and for gating artifacts produced elsewhere in CI).  ``--update``
@@ -38,6 +43,7 @@ ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 CRYPTO_BASELINE = os.path.join(ROOT, "BENCH_crypto.json")
 RUNNER_BASELINE = os.path.join(ROOT, "BENCH_runner.json")
 LOAD_BASELINE = os.path.join(ROOT, "BENCH_load.json")
+SHARD_BASELINE = os.path.join(ROOT, "BENCH_shard.json")
 
 #: Default relative tolerance: fresh ratio may be this fraction below
 #: the committed one before the gate fails.  Improvements never fail.
@@ -148,6 +154,51 @@ def gate_load(committed: dict, fresh: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def gate_shard(committed: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Failures for the sharding snapshot (``BENCH_shard.json``).
+
+    Every leg is measured in *simulation* time (deterministic and
+    machine-independent), so the ratio metrics should reproduce exactly;
+    the tolerance band exists only so an intentional re-baseline follows
+    the same ``--update`` path as the other snapshots.  The correctness
+    bits — monotone scaling, forged-stream rejection, serial == parallel
+    — are not ratios: False in either snapshot fails outright.
+    """
+    failures: list[str] = []
+    for report, origin in ((committed, "committed"), (fresh, "fresh")):
+        if report.get("scaling", {}).get("monotonic") is not True:
+            failures.append(
+                f"shard[{origin}]: goodput does not scale monotonically with K"
+            )
+        if report.get("forged_rejected") is not True:
+            failures.append(
+                f"shard[{origin}]: forged stream message was not rejected"
+            )
+        if report.get("results_identical") is not True:
+            failures.append(
+                f"shard[{origin}]: serial and parallel results differ"
+            )
+    failures += _ratio_check(
+        "shard.scaling.scaling_gain",
+        committed.get("scaling", {}).get("scaling_gain"),
+        fresh.get("scaling", {}).get("scaling_gain"),
+        tolerance,
+    )
+    failures += _ratio_check(
+        "shard.cross.latency_penalty",
+        committed.get("cross", {}).get("latency_penalty"),
+        fresh.get("cross", {}).get("latency_penalty"),
+        tolerance,
+    )
+    penalty = fresh.get("cross", {}).get("latency_penalty")
+    if isinstance(penalty, (int, float)) and penalty < 1.0:
+        failures.append(
+            f"shard: cross-shard latency penalty {penalty:.3g} < 1 — "
+            "cross-shard commits cannot be faster than local ones"
+        )
+    return failures
+
+
 def audit_snapshot(report: dict) -> list[str]:
     """Sanity-check a runner snapshot for internally nonsensical data.
 
@@ -212,6 +263,22 @@ def _run_fresh_load() -> dict:
         return json.load(handle)
 
 
+def _run_fresh_shard() -> dict:
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    import tempfile
+
+    from repro.experiments import sharding
+
+    with tempfile.NamedTemporaryFile("r", suffix=".json") as handle:
+        status = sharding.main(
+            ["--bench", "--quick", "--seed", "0", "--json", handle.name]
+        )
+        if status:
+            raise SystemExit(f"fresh shard bench failed with status {status}")
+        handle.seek(0)
+        return json.load(handle)
+
+
 def _load(path: str) -> dict:
     with open(path, encoding="utf-8") as handle:
         return json.load(handle)
@@ -230,15 +297,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--crypto-baseline", default=CRYPTO_BASELINE)
     parser.add_argument("--runner-baseline", default=RUNNER_BASELINE)
     parser.add_argument("--load-baseline", default=LOAD_BASELINE)
+    parser.add_argument("--shard-baseline", default=SHARD_BASELINE)
     parser.add_argument("--crypto-fresh", default=None,
                         help="use this JSON instead of running the bench")
     parser.add_argument("--runner-fresh", default=None,
                         help="use this JSON instead of running the bench")
     parser.add_argument("--load-fresh", default=None,
                         help="use this JSON instead of running the bench")
+    parser.add_argument("--shard-fresh", default=None,
+                        help="use this JSON instead of running the bench")
     parser.add_argument("--skip-crypto", action="store_true")
     parser.add_argument("--skip-runner", action="store_true")
     parser.add_argument("--skip-load", action="store_true")
+    parser.add_argument("--skip-shard", action="store_true")
     parser.add_argument("--update", action="store_true",
                         help="rewrite committed snapshots from fresh results")
     args = parser.parse_args(argv)
@@ -286,6 +357,19 @@ def main(argv: list[str] | None = None) -> int:
             print(f"updated {args.load_baseline}")
         else:
             failures += gate_load(committed, fresh, args.tolerance)
+
+    if not args.skip_shard:
+        committed = _load(args.shard_baseline)
+        fresh = (
+            _load(args.shard_fresh)
+            if args.shard_fresh
+            else _run_fresh_shard()
+        )
+        if args.update:
+            _write(args.shard_baseline, fresh)
+            print(f"updated {args.shard_baseline}")
+        else:
+            failures += gate_shard(committed, fresh, args.tolerance)
 
     if failures:
         print("bench gate FAILED:")

@@ -22,7 +22,10 @@ Checks every ``*.md`` file in the repo root and ``docs/``:
 * every event kind registered in ``src/repro/obs/registry.py`` is
   documented in ``docs/OBSERVABILITY.md``;
 * every committed ``BENCH_*.json`` snapshot in the repo root is
-  described in ``docs/PERFORMANCE.md``.
+  described in ``docs/PERFORMANCE.md``;
+* every ``shard.*`` metric and event kind additionally appears in
+  ``docs/SHARDING.md`` (the sharding subsystem's own page must not
+  drift from the registries either).
 
 Exit status 0 when clean, 1 with one line per problem otherwise.  CI runs
 this plus the test-suite; ``tests/test_docs.py`` runs it in-process.
@@ -179,6 +182,29 @@ def check_event_docs(problems: list[str]) -> None:
             )
 
 
+def check_shard_docs(problems: list[str]) -> None:
+    """Every ``shard.*`` metric and event kind must appear backticked in
+    SHARDING.md, the sharding subsystem's own reference page."""
+    shard_names = [
+        name
+        for name in registered_metrics() + registered_event_kinds()
+        if name.startswith("shard.")
+    ]
+    if not shard_names:
+        return
+    doc = REPO / "docs" / "SHARDING.md"
+    if not doc.is_file():
+        problems.append("docs/SHARDING.md: missing (cannot check shard.* docs)")
+        return
+    text = doc.read_text(encoding="utf-8")
+    for name in sorted(set(shard_names)):
+        if f"`{name}`" not in text:
+            problems.append(
+                f"docs/SHARDING.md: shard name {name!r} is undocumented "
+                f"(no `{name}` mention found)"
+            )
+
+
 def bench_snapshots() -> list[str]:
     """Committed ``BENCH_*.json`` snapshot files in the repo root."""
     return sorted(p.name for p in REPO.glob("BENCH_*.json"))
@@ -210,6 +236,7 @@ def run() -> list[str]:
     check_cli_docs(problems)
     check_metric_docs(problems)
     check_event_docs(problems)
+    check_shard_docs(problems)
     check_bench_docs(problems)
     return problems
 
