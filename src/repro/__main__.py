@@ -18,6 +18,10 @@ Commands:
   the BENCH_shard legs) — see ``docs/SHARDING.md``;
 * ``bench``       — crypto fast-path benchmark (single vs batch verification
   throughput per primitive) — see ``docs/PERFORMANCE.md``;
+* ``profile``     — hot-path profile harness: per-crypto-backend batch
+  verification, heap-vs-calendar event queue, cross-height flush stats,
+  whole-run bit-identity checks (``--cprofile`` for function-level
+  hotspots) — see ``docs/PERFORMANCE.md``;
 * ``bench-runner`` — experiment-suite wall-clock benchmark (serial vs
   parallel runner, setup-cache hit rates) — see ``docs/PERFORMANCE.md``;
 * ``versions``    — substrate self-check (group parameters, codec, sizes).
@@ -245,6 +249,24 @@ def _cmd_bench(args: argparse.Namespace) -> None:
     if args.check:
         argv.append("--check")
     status = crypto_bench.main(argv)
+    if status:
+        sys.exit(status)
+
+
+def _cmd_profile(args: argparse.Namespace) -> None:
+    from repro.experiments import profile_hotpath
+
+    argv = ["--profile", args.profile, "--batch-size", str(args.batch_size),
+            "--seed", str(args.seed)]
+    if args.json is not None:
+        argv += ["--json", args.json]
+    if args.quick:
+        argv.append("--quick")
+    if args.cprofile:
+        argv.append("--cprofile")
+    if args.check:
+        argv.append("--check")
+    status = profile_hotpath.main(argv)
     if status:
         sys.exit(status)
 
@@ -493,6 +515,27 @@ def main(argv: list[str] | None = None) -> None:
         help="fail unless batch >= single throughput for every primitive",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    profile = sub.add_parser(
+        "profile",
+        help="hot-path profile: crypto backends, event queues, flushing",
+    )
+    profile.add_argument("--json", metavar="PATH", default=None)
+    profile.add_argument(
+        "--profile", choices=["test", "default", "strong"], default="default"
+    )
+    profile.add_argument("--batch-size", type=int, default=32)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--quick", action="store_true", help="short timing windows")
+    profile.add_argument(
+        "--cprofile", action="store_true",
+        help="print cProfile hotspots of one representative deployment",
+    )
+    profile.add_argument(
+        "--check", action="store_true",
+        help="fail unless results are bit-identical and the fast paths win",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     bench_runner = sub.add_parser(
         "bench-runner",

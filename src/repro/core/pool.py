@@ -22,7 +22,7 @@ checks eagerly (signer-index consistency, duplicate detection against
 stored ∪ pending) but their signature crypto is queued and verified in one
 RLC batch (:mod:`repro.crypto.api` / :mod:`repro.crypto.fastpath`) the next
 time a query needs the answer.  Every query that observes shares flushes
-the relevant queue first, so observable pool state is identical to the
+what it observes first, so observable pool state is identical to the
 eager path.  The only divergences are forgery-only (and simulated
 adversaries never forge — see :mod:`repro.crypto.keyring`): ``add`` returns
 True for a queued share that a later flush drops, and re-adding a forged
@@ -30,6 +30,22 @@ share before its flush counts as a duplicate rather than a second invalid.
 Set ``batch_verify=False`` (or ``ClusterConfig.crypto_batch=False``) to
 verify eagerly per message; experiment outputs are bit-identical either
 way.  Each flush emits a ``crypto.batch_verify`` trace event.
+
+**Cross-height flushing** (``flush_across_heights``, default on): queries
+flush only the pending shares they actually observe — per block hash for
+notarization/finalization shares, per round for beacon shares — so
+stragglers for *other* heights keep accumulating and are verified later in
+one larger RLC combination instead of many tiny ones.  This is what lets
+batches fill across heights at low traffic, where a height rarely has more
+than a handful of unverified shares at any query point.  Two safety valves
+bound the accumulation, both ``ClusterConfig``-tunable: ``flush_min_batch``
+(flush a share kind once that many shares are pending, 0 = off) and
+``flush_deadline`` (flush once the oldest pending share of a kind is older
+than this many simulated seconds, None = off).  Both triggers fire inside
+``add`` — never from a timer — so the event schedule, and therefore the
+whole run, stays deterministic.  Query results are bit-identical with the
+feature on or off: RLC verification accepts exactly the per-item oracle's
+set regardless of how shares are grouped into batches.
 """
 
 from __future__ import annotations
@@ -81,11 +97,26 @@ class MessagePool:
         self.payload_verifier = None
         self.stats = PoolStats()
 
+        #: Cross-height flushing knobs (see the module docstring).  Wired
+        #: from ``ClusterConfig.crypto_flush_*`` by ``build_cluster``.
+        self.flush_across_heights = True
+        self.flush_min_batch = 0
+        self.flush_deadline: float | None = None
+
         # Shares whose structural checks passed but whose signature crypto
-        # is deferred to the next flush (batch_verify mode only).
+        # is deferred to the next flush (batch_verify mode only).  The
+        # ``_pending_*_count`` mirrors track total pending shares per kind
+        # (size trigger); ``_pending_*_since`` is the queue-time of the
+        # oldest pending share (deadline trigger), None when empty.
         self._pending_notar: dict[bytes, dict[int, NotarizationShare]] = defaultdict(dict)
         self._pending_final: dict[bytes, dict[int, FinalizationShare]] = defaultdict(dict)
         self._pending_beacon: dict[int, dict[int, BeaconShare]] = defaultdict(dict)
+        self._pending_notar_count = 0
+        self._pending_final_count = 0
+        self._pending_beacon_count = 0
+        self._pending_notar_since: float | None = None
+        self._pending_final_since: float | None = None
+        self._pending_beacon_since: float | None = None
 
         # Trace wiring (see repro.obs): the owning party binds its tracer
         # so verification drops and GC sweeps are attributable to a party.
@@ -207,6 +238,11 @@ class MessagePool:
             return False
         if self.batch_verify:
             self._pending_notar[h][share.signer] = share
+            self._pending_notar_count += 1
+            if self._pending_notar_since is None:
+                self._pending_notar_since = self._now()
+            if self._flush_due(self._pending_notar_count, self._pending_notar_since):
+                self._flush_notar()
             return True
         signed = msg.notarization_message(share.round, share.proposer, share.block_hash)
         if not self._keys.verify_notary_share(signed, share.share):
@@ -239,6 +275,11 @@ class MessagePool:
             return False
         if self.batch_verify:
             self._pending_final[h][share.signer] = share
+            self._pending_final_count += 1
+            if self._pending_final_since is None:
+                self._pending_final_since = self._now()
+            if self._flush_due(self._pending_final_count, self._pending_final_since):
+                self._flush_final()
             return True
         signed = msg.finalization_message(share.round, share.proposer, share.block_hash)
         if not self._keys.verify_final_share(signed, share.share):
@@ -285,6 +326,11 @@ class MessagePool:
             return False
         if self.batch_verify:
             self._pending_beacon[share.round][share.signer] = share
+            self._pending_beacon_count += 1
+            if self._pending_beacon_since is None:
+                self._pending_beacon_since = self._now()
+            if self._flush_due(self._pending_beacon_count, self._pending_beacon_since):
+                self._flush_beacon()
             return True
         signed = msg.beacon_message(share.round, previous)
         if not self._keys.verify_beacon_share(signed, share.share):
@@ -295,6 +341,35 @@ class MessagePool:
 
 
     # -- deferred batch verification ---------------------------------------
+
+    def _now(self) -> float:
+        return self._trace_sim.now if self._trace_sim is not None else 0.0
+
+    def _flush_due(self, count: int, since: float) -> bool:
+        """Size / deadline safety valves for cross-height accumulation."""
+        if self.flush_min_batch and count >= self.flush_min_batch:
+            return True
+        return (
+            self.flush_deadline is not None
+            and self._now() - since >= self.flush_deadline
+        )
+
+    @staticmethod
+    def _take_pending(pending: dict, keys, across: bool) -> list:
+        """Remove and return the pending shares a query is about to observe.
+
+        ``keys=None`` (or cross-height flushing disabled) drains the whole
+        dict; otherwise only the given keys are drained and shares for
+        other heights/rounds keep accumulating.  The caller passes keys in
+        a deterministic order — batch transcripts must not depend on set
+        iteration order.
+        """
+        if keys is None or not across:
+            buckets = list(pending.values())
+            pending.clear()
+        else:
+            buckets = [pending.pop(k) for k in keys if k in pending]
+        return [s for bucket in buckets for s in bucket.values()]
 
     def _emit_invalid(self, artifact: object, round: int | None) -> None:
         if self._meter.enabled:
@@ -329,11 +404,15 @@ class MessagePool:
                 },
             )
 
-    def _flush_notar(self) -> None:
+    def _flush_notar(self, keys=None) -> None:
         if not self._pending_notar:
             return
-        shares = [s for by_signer in self._pending_notar.values() for s in by_signer.values()]
-        self._pending_notar.clear()
+        shares = self._take_pending(self._pending_notar, keys, self.flush_across_heights)
+        if self._pending_notar:
+            self._pending_notar_count -= len(shares)
+        else:
+            self._pending_notar_count = 0
+            self._pending_notar_since = None
         if not shares:
             return
         items = [
@@ -349,11 +428,15 @@ class MessagePool:
                 self._emit_invalid(share, share.round)
         self._emit_batch("notary", report.stats)
 
-    def _flush_final(self) -> None:
+    def _flush_final(self, keys=None) -> None:
         if not self._pending_final:
             return
-        shares = [s for by_signer in self._pending_final.values() for s in by_signer.values()]
-        self._pending_final.clear()
+        shares = self._take_pending(self._pending_final, keys, self.flush_across_heights)
+        if self._pending_final:
+            self._pending_final_count -= len(shares)
+        else:
+            self._pending_final_count = 0
+            self._pending_final_since = None
         if not shares:
             return
         items = [
@@ -369,11 +452,15 @@ class MessagePool:
                 self._emit_invalid(share, share.round)
         self._emit_batch("final", report.stats)
 
-    def _flush_beacon(self) -> None:
+    def _flush_beacon(self, rounds=None) -> None:
         if not self._pending_beacon:
             return
-        shares = [s for by_signer in self._pending_beacon.values() for s in by_signer.values()]
-        self._pending_beacon.clear()
+        shares = self._take_pending(self._pending_beacon, rounds, self.flush_across_heights)
+        if self._pending_beacon:
+            self._pending_beacon_count -= len(shares)
+        else:
+            self._pending_beacon_count = 0
+            self._pending_beacon_since = None
         if not shares:
             return
         # Only shares whose previous beacon value was known are ever queued,
@@ -472,24 +559,24 @@ class MessagePool:
         return self._finalizations.get(h)
 
     def notar_share_count(self, h: bytes) -> int:
-        self._flush_notar()
+        self._flush_notar((h,))
         return len(self._notar_shares.get(h, ()))
 
     def notar_shares(self, h: bytes) -> list[NotarizationShare]:
-        self._flush_notar()
+        self._flush_notar((h,))
         return list(self._notar_shares.get(h, {}).values())
 
     def final_share_count(self, h: bytes) -> int:
-        self._flush_final()
+        self._flush_final((h,))
         return len(self._final_shares.get(h, ()))
 
     def final_shares(self, h: bytes) -> list[FinalizationShare]:
-        self._flush_final()
+        self._flush_final((h,))
         return list(self._final_shares.get(h, {}).values())
 
     def combinable_notarization(self, round: int, quorum: int) -> Block | None:
         """A valid, non-notarized round-k block with >= quorum notar shares."""
-        self._flush_notar()
+        self._flush_notar(sorted(self._blocks_by_round.get(round, ())))
         for h in self._blocks_by_round.get(round, ()):
             if h in self._valid and h not in self._notarized:
                 if len(self._notar_shares.get(h, ())) >= quorum:
@@ -498,7 +585,7 @@ class MessagePool:
 
     def combinable_finalization(self, round: int, quorum: int) -> Block | None:
         """A valid, non-finalized round-k block with >= quorum final shares."""
-        self._flush_final()
+        self._flush_final(sorted(self._blocks_by_round.get(round, ())))
         for h in self._blocks_by_round.get(round, ()):
             if h in self._valid and h not in self._finalized:
                 if len(self._final_shares.get(h, ())) >= quorum:
@@ -547,11 +634,11 @@ class MessagePool:
     # -- beacon ---------------------------------------------------------------
 
     def beacon_share_count(self, round: int) -> int:
-        self._flush_beacon()
+        self._flush_beacon((round,))
         return len(self._beacon_shares.get(round, ()))
 
     def beacon_shares_for(self, round: int) -> list[BeaconShare]:
-        self._flush_beacon()
+        self._flush_beacon((round,))
         return list(self._beacon_shares.get(round, {}).values())
 
     def set_beacon_value(self, round: int, value: bytes) -> None:
@@ -569,7 +656,7 @@ class MessagePool:
         if pending:
             # Verify the whole reveal in one batch right away so buffered
             # garbage is counted at reveal time, as on the eager path.
-            self._flush_beacon()
+            self._flush_beacon((round + 1,))
 
     def beacon_value(self, round: int) -> bytes | None:
         return self.beacon_values.get(round)

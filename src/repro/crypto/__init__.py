@@ -7,7 +7,8 @@ flavour (approach iii), and the random-beacon machinery built on the latter.
 See DESIGN.md §2 for the BLS → DLEQ substitution rationale.
 """
 
-from . import api, fastpath
+from . import api, backend, fastpath
+from .backend import available_backends, use_backend
 from .dkg import DkgResult, run_dkg
 from .group import Group, default_group, generate_group, strong_group, test_group
 from .hashing import DIGEST_SIZE, hash_bytes, tagged_hash
@@ -16,7 +17,10 @@ from .resharing import ResharingError, reshare
 
 __all__ = [
     "api",
+    "backend",
     "fastpath",
+    "available_backends",
+    "use_backend",
     "DkgResult",
     "run_dkg",
     "ResharingError",

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
 from . import dleq, fastpath, multisig, schnorr, shamir, threshold, unique
+from .backend import active_backend
 from .dleq import DleqStatement
 from .group import Group
 
@@ -155,7 +156,7 @@ class DleqVerifier(_BatchVerifier):
         # Second equation g2**s == t2·B**c via Shamir's trick, rearranged to
         # g2**s · B**(-c) == t2 (B is a checked subgroup member, so the
         # negated exponent reduces mod q).
-        return fastpath.simultaneous_power(group.p, g2, s, b, (-c) % group.q) == t2
+        return fastpath.simultaneous_power(group.p, g2, s, b, (-c) % group.q, ctx.backend) == t2
 
     def _verify_batch(self, items: list[tuple]) -> list[bool]:
         return fastpath.batch_verify_dleq(self.ctx, [(pk, sig) for pk, _, sig in items])
@@ -397,15 +398,22 @@ class VerifierSuite:
     multisig: MultisigVerifier
 
 
-_SUITES: dict[tuple[int, int, int], VerifierSuite] = {}
+_SUITES: dict[tuple[int, int, int, str], VerifierSuite] = {}
 
 
 def verifiers_for(group: Group) -> VerifierSuite:
-    """The cached :class:`VerifierSuite` for ``group``."""
-    key = (group.p, group.q, group.g)
+    """The cached :class:`VerifierSuite` for ``group``.
+
+    Keyed per (group, active crypto backend): under
+    :func:`repro.crypto.backend.use_backend` each backend gets its own
+    suite whose fastpath context was built by that backend, so per-backend
+    benchmarks never share precomputations.
+    """
+    backend = active_backend()
+    key = (group.p, group.q, group.g, backend.name)
     suite = _SUITES.get(key)
     if suite is None:
-        ctx = fastpath.for_group(group)
+        ctx = fastpath.for_group(group, backend)
         schnorr_v = SchnorrVerifier(group, ctx)
         dleq_v = DleqVerifier(group, ctx)
         share_v = ThresholdShareVerifier(group, ctx, dleq_v)

@@ -1,0 +1,328 @@
+"""Pluggable modular-exponentiation backends for the discrete-log substrate.
+
+Profiling (see ``python -m repro profile`` and docs/PERFORMANCE.md) shows
+that at realistic group sizes nearly all crypto wall-clock time is modular
+exponentiation.  This module makes the modexp primitive a *selectable
+backend* so optimizations land as alternatives that can be benchmarked
+against each other on the same inputs, instead of one-way rewrites:
+
+* ``pure``   — the reference implementation: Python's built-in ``pow``
+  for every exponentiation, no precomputation, no caches.  This is the
+  baseline every other backend is benchmarked against.
+* ``window`` — fixed-window (comb) precomputation for long-lived bases.
+  Repeated exponentiations of the same base (the generator ``g``, public
+  keys, H2 points) are served from a :class:`FixedBaseTable` built after
+  the base has been seen a few times; one-shot bases still use ``pow``.
+  This generalizes the comb tables :mod:`repro.crypto.fastpath` has
+  always kept for the generator and public keys to *every* ``Group``
+  exponentiation, and is the default backend.
+* ``gmpy2``  — GMP-accelerated big integers, auto-detected: registered
+  only when the optional ``gmpy2`` package imports.  When absent the
+  backend reports itself unavailable and every consumer skips it (the
+  container used for CI does not ship it; nothing may ``pip install``).
+
+Every backend computes **bit-identical results** — these are alternative
+evaluation strategies for the same mathematical function, and
+``tests/crypto/test_backend.py`` pins equality on every group operation
+and on whole batch-verification transcripts.  Selection is per run:
+:func:`use_backend` scopes a backend to a ``with`` block, or export
+``REPRO_CRYPTO_BACKEND`` to pick the process default.
+
+The backend surface is deliberately small:
+
+* ``powmod(base, exp, mod)``  — one-shot exponentiation;
+* ``invmod(a, mod)``          — modular inverse;
+* ``fixed_power(base, mod, max_bits)`` — a callable ``exp -> int`` for a
+  base the caller promises to reuse (the fast path's table slot);
+* ``wrap``/``unwrap``         — convert operands into the backend's
+  native integer type for multiplication chains (Straus/Shamir walks),
+  identity for the pure-Python backends, ``mpz`` for gmpy2.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Callable
+
+#: Fixed-base window width (bits per comb table row).
+DEFAULT_WINDOW = 5
+
+
+class FixedBaseTable:
+    """Windowed (comb) precomputation for repeated powers of one base.
+
+    Stores base^(d·2^(w·i)) for every window index i and digit d, so
+    ``power(e)`` is one table multiplication per w-bit window of ``e`` —
+    no squarings at exponentiation time.  Build cost is
+    ⌈max_bits/w⌉·(2^w - 1) multiplications, which pays for itself after a
+    handful of exponentiations; callers cache tables per long-lived base
+    (see :class:`WindowBackend` and :class:`repro.crypto.fastpath.FastPath`).
+    """
+
+    __slots__ = ("p", "window", "max_bits", "_mask", "_rows")
+
+    def __init__(self, p: int, base: int, max_bits: int, window: int = DEFAULT_WINDOW) -> None:
+        self.p = p
+        self.window = window
+        self.max_bits = max_bits
+        self._mask = (1 << window) - 1
+        rows: list[list[int]] = []
+        b = base % p
+        for _ in range((max_bits + window - 1) // window):
+            row = [1] * (self._mask + 1)
+            for d in range(1, self._mask + 1):
+                row[d] = row[d - 1] * b % p
+            rows.append(row)
+            for _ in range(window):
+                b = b * b % p
+        self._rows = rows
+
+    def power(self, exponent: int) -> int:
+        """base**exponent mod p for 0 <= exponent < 2^max_bits."""
+        if exponent >> self.max_bits:
+            raise ValueError("exponent exceeds table range")
+        acc = 1
+        p = self.p
+        i = 0
+        while exponent:
+            d = exponent & self._mask
+            if d:
+                acc = acc * self._rows[i][d] % p
+            exponent >>= self.window
+            i += 1
+        return acc
+
+
+class CryptoBackend:
+    """Base class: the ``pure`` strategy, and the interface contract."""
+
+    name = "pure"
+
+    @staticmethod
+    def powmod(base: int, exponent: int, modulus: int) -> int:
+        return pow(base, exponent, modulus)
+
+    @staticmethod
+    def invmod(a: int, modulus: int) -> int:
+        return pow(a, -1, modulus)
+
+    def fixed_power(self, base: int, modulus: int, max_bits: int,
+                    window: int = DEFAULT_WINDOW) -> Callable[[int], int]:
+        """A fresh ``exp -> base**exp mod modulus`` for a long-lived base.
+
+        The pure backend deliberately returns a bare ``pow`` closure — no
+        tables anywhere — so benchmarks against it measure the full win
+        of precomputation, not just the generic-call-site share.
+        """
+        return lambda exponent: pow(base, exponent, modulus)
+
+    #: Operand conversion for multiplication chains; identity here.
+    wrap = staticmethod(lambda x: x)
+    unwrap = staticmethod(lambda x: x)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class PureBackend(CryptoBackend):
+    """Alias of the base class, registered under ``pure``."""
+
+
+class WindowBackend(CryptoBackend):
+    """Fixed-window precomputation for bases that keep coming back.
+
+    ``powmod`` counts (base, modulus) pairs and promotes a pair to a comb
+    table once it has been seen ``promote_after`` times; until then (and
+    for one-shot bases forever) it is plain ``pow``.  The table cache is
+    bounded so adversarial base churn cannot grow memory without bound.
+    ``fixed_power`` skips the bookkeeping: the caller has already promised
+    the base is long-lived, so it gets a table immediately.
+    """
+
+    name = "window"
+
+    def __init__(self, *, window: int = DEFAULT_WINDOW, table_cache: int = 64,
+                 promote_after: int = 3, count_cache: int = 4096) -> None:
+        self._window = window
+        self._table_cache = table_cache
+        self._promote_after = promote_after
+        self._count_cache = count_cache
+        self._tables: dict[tuple[int, int], FixedBaseTable] = {}
+        self._counts: dict[tuple[int, int], int] = {}
+
+    def powmod(self, base: int, exponent: int, modulus: int) -> int:
+        if exponent < 0:
+            return pow(base, exponent, modulus)
+        key = (base, modulus)
+        table = self._tables.get(key)
+        if table is None:
+            seen = self._counts.get(key, 0) + 1
+            if seen >= self._promote_after and len(self._tables) < self._table_cache:
+                self._counts.pop(key, None)
+                table = FixedBaseTable(modulus, base, modulus.bit_length(), self._window)
+                self._tables[key] = table
+            else:
+                if len(self._counts) >= self._count_cache:
+                    self._counts.clear()  # churn guard; affects speed only
+                self._counts[key] = seen
+                return pow(base, exponent, modulus)
+        if exponent.bit_length() > table.max_bits:  # pragma: no cover - defensive
+            return pow(base, exponent, modulus)
+        return table.power(exponent)
+
+    def fixed_power(self, base: int, modulus: int, max_bits: int,
+                    window: int = DEFAULT_WINDOW) -> Callable[[int], int]:
+        return FixedBaseTable(modulus, base, max_bits, window).power
+
+
+class Gmpy2Backend(CryptoBackend):
+    """GMP-backed modexp via the optional ``gmpy2`` package."""
+
+    name = "gmpy2"
+
+    def __init__(self) -> None:
+        import gmpy2  # noqa: F401 - availability gate ran already
+
+        self._gmpy2 = gmpy2
+        self._mpz = gmpy2.mpz
+
+    def powmod(self, base: int, exponent: int, modulus: int) -> int:
+        return int(self._gmpy2.powmod(base, exponent, modulus))
+
+    def invmod(self, a: int, modulus: int) -> int:
+        return int(self._gmpy2.invert(a, modulus))
+
+    def fixed_power(self, base: int, modulus: int, max_bits: int,
+                    window: int = DEFAULT_WINDOW) -> Callable[[int], int]:
+        powmod, b, m = self._gmpy2.powmod, self._mpz(base), self._mpz(modulus)
+        return lambda exponent: int(powmod(b, exponent, m))
+
+    @property
+    def wrap(self):
+        return self._mpz
+
+    @property
+    def unwrap(self):
+        return int
+
+
+def _gmpy2_available() -> bool:
+    import importlib.util
+
+    return importlib.util.find_spec("gmpy2") is not None
+
+
+# ---------------------------------------------------------------------------
+# Registry and per-run selection
+# ---------------------------------------------------------------------------
+
+#: name -> (factory, availability probe).  Ordered: ``pure`` first so the
+#: comparison baseline is always listed first in tables.
+_REGISTRY: dict[str, tuple[Callable[[], CryptoBackend], Callable[[], bool]]] = {}
+_INSTANCES: dict[str, CryptoBackend] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], CryptoBackend],
+    available: Callable[[], bool] = lambda: True,
+) -> None:
+    """Register a backend under ``name`` (last registration wins)."""
+    _REGISTRY[name] = (factory, available)
+    _INSTANCES.pop(name, None)
+
+
+register_backend("pure", PureBackend)
+register_backend("window", WindowBackend)
+register_backend("gmpy2", Gmpy2Backend, _gmpy2_available)
+
+#: The process default; ``window`` preserves the pre-backend behaviour
+#: (comb tables for long-lived bases) and is safe everywhere.
+DEFAULT_BACKEND = "window"
+
+
+def backend_names() -> list[str]:
+    """All registered backend names, available or not (registration order)."""
+    return list(_REGISTRY)
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` is registered and its availability probe passes."""
+    entry = _REGISTRY.get(name)
+    return entry is not None and entry[1]()
+
+
+def available_backends() -> list[str]:
+    """Registered backend names whose availability probe passes."""
+    return [name for name in _REGISTRY if backend_available(name)]
+
+
+def get_backend(name: str) -> CryptoBackend:
+    """The shared instance for ``name``; raises for unknown/unavailable."""
+    instance = _INSTANCES.get(name)
+    if instance is not None:
+        return instance
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise ValueError(
+            f"unknown crypto backend {name!r} (registered: {', '.join(_REGISTRY)})"
+        )
+    factory, available = entry
+    if not available():
+        raise ValueError(f"crypto backend {name!r} is not available on this machine")
+    instance = _INSTANCES[name] = factory()
+    return instance
+
+
+def _initial_backend() -> CryptoBackend:
+    name = os.environ.get("REPRO_CRYPTO_BACKEND", DEFAULT_BACKEND)
+    try:
+        return get_backend(name)
+    except ValueError:  # pragma: no cover - mis-set env var
+        return get_backend(DEFAULT_BACKEND)
+
+
+_ACTIVE: CryptoBackend = _initial_backend()
+
+
+def active_backend() -> CryptoBackend:
+    """The backend every Group/fastpath exponentiation currently routes to."""
+    return _ACTIVE
+
+
+def set_backend(backend: str | CryptoBackend) -> CryptoBackend:
+    """Install ``backend`` as active; returns the previous one (for restore)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = get_backend(backend) if isinstance(backend, str) else backend
+    return previous
+
+
+@contextmanager
+def use_backend(backend: str | CryptoBackend):
+    """Scope a backend to a ``with`` block (the per-run selection hook)."""
+    previous = set_backend(backend)
+    try:
+        yield _ACTIVE
+    finally:
+        set_backend(previous)
+
+
+__all__ = [
+    "DEFAULT_WINDOW",
+    "DEFAULT_BACKEND",
+    "FixedBaseTable",
+    "CryptoBackend",
+    "PureBackend",
+    "WindowBackend",
+    "Gmpy2Backend",
+    "register_backend",
+    "backend_names",
+    "backend_available",
+    "available_backends",
+    "get_backend",
+    "active_backend",
+    "set_backend",
+    "use_backend",
+]

@@ -50,7 +50,7 @@ class DleqProof:
     response: int  # s, a scalar
 
     def to_bytes(self, group: Group) -> bytes:
-        width = (group.q.bit_length() + 7) // 8
+        width = group.scalar_width
         return (
             group.element_to_bytes(self.commitment1)
             + group.element_to_bytes(self.commitment2)
@@ -65,8 +65,8 @@ def proof_from_bytes(group: Group, data: bytes) -> DleqProof:
     :meth:`Group.power` for untrusted wire input (see DESIGN.md §2).
     Raises :class:`ValueError` on malformed or out-of-subgroup input.
     """
-    p_width = (group.p.bit_length() + 7) // 8
-    q_width = (group.q.bit_length() + 7) // 8
+    p_width = group.element_width
+    q_width = group.scalar_width
     if len(data) != 2 * p_width + q_width:
         raise ValueError(f"DLEQ proof encoding must be {2 * p_width + q_width} bytes")
     t1 = group.element_from_bytes(data[:p_width])

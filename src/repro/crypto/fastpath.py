@@ -50,6 +50,12 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from . import dleq, schnorr
+from .backend import (
+    DEFAULT_WINDOW,
+    CryptoBackend,
+    FixedBaseTable,  # noqa: F401 - re-exported; moved to repro.crypto.backend
+    active_backend,
+)
 from .group import Group
 from .hashing import tagged_hash
 from .unique import message_point
@@ -57,97 +63,69 @@ from .unique import message_point
 _COEFF_TAG = "ICC/fastpath/batch-coeff"
 _COEFF_BITS = 64
 
-#: Fixed-base window width (bits per comb table row).
-DEFAULT_WINDOW = 5
-
 
 # ---------------------------------------------------------------------------
 # Exponentiation primitives
 # ---------------------------------------------------------------------------
+#
+# FixedBaseTable lives in repro.crypto.backend now (it is the substrate of
+# the ``window`` backend); it is re-exported above for compatibility.
 
 
-class FixedBaseTable:
-    """Windowed (comb) precomputation for repeated powers of one base.
-
-    Stores base^(d·2^(w·i)) for every window index i and digit d, so
-    ``power(e)`` is one table multiplication per w-bit window of ``e`` —
-    no squarings at exponentiation time.  Build cost is
-    ⌈max_bits/w⌉·(2^w - 1) multiplications, which pays for itself after a
-    handful of exponentiations; tables are cached per base in
-    :class:`FastPath` so long-lived bases (g, public keys) build once.
-    """
-
-    __slots__ = ("p", "window", "max_bits", "_mask", "_rows")
-
-    def __init__(self, p: int, base: int, max_bits: int, window: int = DEFAULT_WINDOW) -> None:
-        self.p = p
-        self.window = window
-        self.max_bits = max_bits
-        self._mask = (1 << window) - 1
-        rows: list[list[int]] = []
-        b = base % p
-        for _ in range((max_bits + window - 1) // window):
-            row = [1] * (self._mask + 1)
-            for d in range(1, self._mask + 1):
-                row[d] = row[d - 1] * b % p
-            rows.append(row)
-            for _ in range(window):
-                b = b * b % p
-        self._rows = rows
-
-    def power(self, exponent: int) -> int:
-        """base**exponent mod p for 0 <= exponent < 2^max_bits."""
-        if exponent >> self.max_bits:
-            raise ValueError("exponent exceeds table range")
-        acc = 1
-        p = self.p
-        i = 0
-        while exponent:
-            d = exponent & self._mask
-            if d:
-                acc = acc * self._rows[i][d] % p
-            exponent >>= self.window
-            i += 1
-        return acc
-
-def multi_exp_small(p: int, pairs: list[tuple[int, int]]) -> int:
+def multi_exp_small(
+    p: int, pairs: list[tuple[int, int]], backend: CryptoBackend | None = None
+) -> int:
     """Π base_i^{e_i} mod p via Straus interleaving (shared squarings).
 
     Designed for the *small* (64-bit) RLC coefficients: the squaring chain
     is walked once for the whole product, so per-item cost is just the
     multiplications for that item's set bits (~32 for a 64-bit exponent).
-    Exponents must be non-negative.
+    Exponents must be non-negative.  The multiplication chain runs in the
+    backend's native integer type (``mpz`` for gmpy2, ``int`` otherwise).
     """
     if not pairs:
         return 1
-    acc = 1
+    if backend is None:
+        backend = active_backend()
+    wrap = backend.wrap
+    pm = wrap(p)
+    acc = wrap(1)
+    pairs = [(wrap(base), e) for base, e in pairs]
     max_bits = max(e.bit_length() for _, e in pairs)
     for bit in range(max_bits - 1, -1, -1):
-        acc = acc * acc % p
+        acc = acc * acc % pm
         for base, e in pairs:
             if (e >> bit) & 1:
-                acc = acc * base % p
-    return acc
+                acc = acc * base % pm
+    return backend.unwrap(acc)
 
 
-def simultaneous_power(p: int, b1: int, e1: int, b2: int, e2: int) -> int:
+def simultaneous_power(
+    p: int, b1: int, e1: int, b2: int, e2: int, backend: CryptoBackend | None = None
+) -> int:
     """b1^e1 · b2^e2 mod p via Shamir's trick (one shared squaring chain).
 
     The two-base product at the heart of every Schnorr/DLEQ equation check;
     roughly halves the squarings of computing the two powers separately.
     """
-    b12 = b1 * b2 % p
-    acc = 1
+    if backend is None:
+        backend = active_backend()
+    wrap = backend.wrap
+    pm = wrap(p)
+    b1 = wrap(b1)
+    b2 = wrap(b2)
+    b12 = b1 * b2 % pm
+    acc = wrap(1)
     for bit in range(max(e1.bit_length(), e2.bit_length()) - 1, -1, -1):
-        acc = acc * acc % p
+        acc = acc * acc % pm
         pick = ((e1 >> bit) & 1) | (((e2 >> bit) & 1) << 1)
         if pick == 3:
-            acc = acc * b12 % p
+            acc = acc * b12 % pm
         elif pick == 1:
-            acc = acc * b1 % p
+            acc = acc * b1 % pm
         elif pick == 2:
-            acc = acc * b2 % p
-    return acc
+            acc = acc * b2 % pm
+    return backend.unwrap(acc)
 
 
 # ---------------------------------------------------------------------------
@@ -207,16 +185,18 @@ class FastPath:
         self,
         group: Group,
         *,
+        backend: CryptoBackend | None = None,
         window: int = DEFAULT_WINDOW,
         table_cache: int = 512,
         member_cache: int = 65536,
         h2_cache: int = 4096,
     ) -> None:
         self.group = group
+        self.backend = backend if backend is not None else active_backend()
         self.stats = FastPathStats()
         self._window = window
         q_bits = group.q.bit_length()
-        self.g_table = FixedBaseTable(group.p, group.g, q_bits, window)
+        self._power_g = self.backend.fixed_power(group.g, group.p, q_bits, window)
         self._tables: _BoundedCache = _BoundedCache(table_cache)
         self._members: _BoundedCache = _BoundedCache(member_cache)
         self._members.put(group.g, None)
@@ -231,7 +211,8 @@ class FastPath:
             self.stats.member_hits += 1
             return True
         self.stats.member_misses += 1
-        if self.group.is_element(a):
+        group = self.group
+        if 1 <= a < group.p and self.backend.powmod(a, group.q, group.p) == 1:
             self._members.put(a, None)
             return True
         return False
@@ -239,34 +220,37 @@ class FastPath:
     # -- fixed-base exponentiation ----------------------------------------
 
     def power_g(self, exponent: int) -> int:
-        """g**exponent via the generator's precomputed table."""
-        return self.g_table.power(exponent % self.group.q)
+        """g**exponent via the backend's precomputed fixed-base slot."""
+        return self._power_g(exponent % self.group.q)
 
     def power_base(self, base: int, exponent: int) -> int:
-        """base**exponent via a cached per-base table.
+        """base**exponent via a cached per-base fixed-power callable.
 
         Intended for long-lived bases (public keys, per-message H2 points);
-        the first call builds the table, later calls amortize it.  The
-        caller must guarantee ``base`` is a subgroup member (exponent is
-        reduced mod q).
+        the first call builds the backend's precomputation (a comb table
+        for ``window``, a bare closure for ``pure``), later calls amortize
+        it.  The caller must guarantee ``base`` is a subgroup member
+        (exponent is reduced mod q).
         """
-        table = self._tables.get(base)
-        if table is None:
-            table = FixedBaseTable(self.group.p, base, self.group.q.bit_length(), self._window)
-            self._tables.put(base, table)
+        power = self._tables.get(base)
+        if power is None:
+            power = self.backend.fixed_power(
+                base, self.group.p, self.group.q.bit_length(), self._window
+            )
+            self._tables.put(base, power)
         else:
             self._tables.touch(base)
-        return table.power(exponent % self.group.q)
+        return power(exponent % self.group.q)
 
     def warm_bases(self, bases) -> int:
-        """Pre-build fixed-base tables for an iterable of long-lived bases.
+        """Pre-build fixed-base precomputations for long-lived bases.
 
         Batch-auth hook for the load pipeline: client public keys are
         known before traffic starts, so building their tables up front
         moves the one-time cost out of the first verification batch (and
         out of its latency measurement).  Bases beyond the table cache's
         LRU capacity are skipped rather than evicting hot entries.
-        Returns the number of tables built.
+        Returns the number of precomputations built.
         """
         built = 0
         for base in bases:
@@ -276,8 +260,8 @@ class FastPath:
                 continue
             self._tables.put(
                 base,
-                FixedBaseTable(
-                    self.group.p, base, self.group.q.bit_length(), self._window
+                self.backend.fixed_power(
+                    base, self.group.p, self.group.q.bit_length(), self._window
                 ),
             )
             built += 1
@@ -299,15 +283,24 @@ class FastPath:
         return point
 
 
-_CONTEXTS: dict[tuple[int, int, int], FastPath] = {}
+_CONTEXTS: dict[tuple[int, int, int, str], FastPath] = {}
 
 
-def for_group(group: Group) -> FastPath:
-    """The shared :class:`FastPath` context for ``group`` (one per group)."""
-    key = (group.p, group.q, group.g)
+def for_group(group: Group, backend: CryptoBackend | None = None) -> FastPath:
+    """The shared :class:`FastPath` context for ``group`` under a backend.
+
+    One context per (group, backend) pair: switching backends with
+    :func:`repro.crypto.backend.use_backend` transparently switches to a
+    context whose precomputations were built by that backend, so cached
+    tables never leak across strategies being benchmarked against each
+    other.
+    """
+    if backend is None:
+        backend = active_backend()
+    key = (group.p, group.q, group.g, backend.name)
     ctx = _CONTEXTS.get(key)
     if ctx is None:
-        ctx = _CONTEXTS[key] = FastPath(group)
+        ctx = _CONTEXTS[key] = FastPath(group, backend=backend)
     return ctx
 
 
@@ -452,7 +445,7 @@ def batch_verify_schnorr(
                 s_acc = (s_acc + r * s) % q
                 small.append((commitment, r))
                 per_key[pk] = (per_key.get(pk, 0) + r * c) % q
-            rhs = multi_exp_small(p, small)
+            rhs = multi_exp_small(p, small, ctx.backend)
             for pk, e in per_key.items():
                 rhs = rhs * ctx.power_base(pk, e) % p
             return ctx.power_g(s_acc) == rhs
@@ -528,12 +521,12 @@ def batch_verify_dleq(
                     return ctx.power_g(e)
                 if base in tabled:
                     return ctx.power_base(base, e)
-                return pow(base, e, p)
+                return ctx.backend.powmod(base, e, p)
 
             lhs = 1
             for base, e in lhs_exp.items():
                 lhs = lhs * powered(base, e) % p
-            rhs = multi_exp_small(p, small)
+            rhs = multi_exp_small(p, small, ctx.backend)
             for base, e in rhs_exp.items():
                 rhs = rhs * powered(base, e) % p
             return lhs == rhs

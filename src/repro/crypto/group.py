@@ -18,8 +18,9 @@ keeps the unit-test suite fast.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
+from functools import cached_property, lru_cache
 
+from .backend import active_backend
 from .field import PrimeField, is_probable_prime
 from .hashing import hash_to_int, int_to_bytes, tagged_hash
 
@@ -70,6 +71,21 @@ class Group:
     def scalar_field(self) -> PrimeField:
         return PrimeField(self.q)
 
+    @cached_property
+    def element_width(self) -> int:
+        """Byte width of a serialized group element (fixed per group).
+
+        Cached on the instance: ``element_to_bytes``/``element_from_bytes``
+        sit on the share-serialization hot path and previously recomputed
+        ``p.bit_length()`` on every call.
+        """
+        return (self.p.bit_length() + 7) // 8
+
+    @cached_property
+    def scalar_width(self) -> int:
+        """Byte width of a serialized scalar in Z_q (fixed per group)."""
+        return (self.q.bit_length() + 7) // 8
+
     # -- group operations -------------------------------------------------
 
     def mul(self, a: int, b: int) -> int:
@@ -87,21 +103,25 @@ class Group:
         members themselves, or untrusted values admitted through
         :meth:`decode_element` / :meth:`is_element` at deserialization.
         Every verifier in this package enforces this before exponentiating.
+
+        Exponentiation routes through the active crypto backend (see
+        :mod:`repro.crypto.backend`); backends differ only in evaluation
+        strategy, never in result.
         """
-        return pow(base, exponent % self.q, self.p)
+        return active_backend().powmod(base, exponent % self.q, self.p)
 
     def power_g(self, exponent: int) -> int:
         """g**exponent — the most common operation, kept explicit."""
-        return pow(self.g, exponent % self.q, self.p)
+        return active_backend().powmod(self.g, exponent % self.q, self.p)
 
     def inv(self, a: int) -> int:
-        return pow(a, -1, self.p)
+        return active_backend().invmod(a, self.p)
 
     def is_element(self, a: int) -> bool:
         """Membership test for the order-q subgroup."""
         if not 1 <= a < self.p:
             return False
-        return pow(a, self.q, self.p) == 1
+        return active_backend().powmod(a, self.q, self.p) == 1
 
     def decode_element(self, a: int) -> int:
         """Admit an untrusted integer as a subgroup element, or raise.
@@ -118,8 +138,7 @@ class Group:
 
     def element_to_bytes(self, a: int) -> bytes:
         """Fixed-width big-endian encoding of a group element."""
-        width = (self.p.bit_length() + 7) // 8
-        return a.to_bytes(width, "big")
+        return a.to_bytes(self.element_width, "big")
 
     def element_from_bytes(self, data: bytes) -> int:
         """Decode a fixed-width element encoding, with the subgroup check.
@@ -128,7 +147,7 @@ class Group:
         use this (not a bare ``int.from_bytes``) so that every element that
         reaches :meth:`power` satisfies the subgroup invariant.
         """
-        width = (self.p.bit_length() + 7) // 8
+        width = self.element_width
         if len(data) != width:
             raise ValueError(f"element encoding must be {width} bytes, got {len(data)}")
         return self.decode_element(int.from_bytes(data, "big"))
@@ -141,10 +160,11 @@ class Group:
         is rejected by re-hashing with a counter.
         """
         counter = 0
+        powmod = active_backend().powmod
         while True:
             u = hash_to_int(tag, *parts, counter.to_bytes(4, "big")) % self.p
             if u > 1:
-                h = pow(u, self.cofactor, self.p)
+                h = powmod(u, self.cofactor, self.p)
                 if h != 1:
                     return h
             counter += 1

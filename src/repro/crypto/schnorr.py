@@ -21,7 +21,7 @@ class SchnorrSignature:
 
     def to_bytes(self, group: Group) -> bytes:
         return group.element_to_bytes(self.commitment) + self.response.to_bytes(
-            (group.q.bit_length() + 7) // 8, "big"
+            group.scalar_width, "big"
         )
 
 
@@ -69,8 +69,8 @@ def signature_from_bytes(group: Group, data: bytes) -> SchnorrSignature:
     :meth:`Group.power` for untrusted wire input.  Raises
     :class:`ValueError` on malformed or out-of-subgroup input.
     """
-    p_width = (group.p.bit_length() + 7) // 8
-    q_width = (group.q.bit_length() + 7) // 8
+    p_width = group.element_width
+    q_width = group.scalar_width
     if len(data) != p_width + q_width:
         raise ValueError(f"Schnorr signature encoding must be {p_width + q_width} bytes")
     commitment = group.element_from_bytes(data[:p_width])

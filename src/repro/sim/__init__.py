@@ -6,6 +6,7 @@ covering synchrony, asynchrony, partial synchrony, intermittent synchrony
 and adversarial scheduling.
 """
 
+from .events import CalendarEventQueue, EventHandle, EventQueue, HeapEventQueue
 from .delays import (
     AdversarialDelay,
     DelayModel,
@@ -37,4 +38,8 @@ __all__ = [
     "message_kind",
     "wire_size",
     "Simulation",
+    "CalendarEventQueue",
+    "EventHandle",
+    "EventQueue",
+    "HeapEventQueue",
 ]

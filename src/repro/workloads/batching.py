@@ -190,9 +190,7 @@ class RealClientAuth:
         self._master = tagged_hash("ICC/load/auth-master", seed.to_bytes(8, "big"))
         self._secrets: dict[int, int] = {}
         self._publics: dict[int, int] = {}
-        self._sig_len = (self.group.p.bit_length() + 7) // 8 + (
-            self.group.q.bit_length() + 7
-        ) // 8
+        self._sig_len = self.group.element_width + self.group.scalar_width
 
     def _secret(self, client: int) -> int:
         secret = self._secrets.get(client)
@@ -237,7 +235,7 @@ class RealClientAuth:
 
     def _decode(self, auth: bytes) -> schnorr.SchnorrSignature | None:
         group = self.group
-        p_len = (group.p.bit_length() + 7) // 8
+        p_len = group.element_width
         if len(auth) != self._sig_len:
             return None
         try:

@@ -1,0 +1,198 @@
+"""Tests for cross-height batch flushing in the message pool.
+
+The contract (see ``repro.core.pool``'s docstring): with
+``flush_across_heights`` on (the default), a query flushes only the
+pending shares for the keys it observes — stragglers for other heights
+keep accumulating into larger RLC batches — while ``flush_min_batch``
+and ``flush_deadline`` bound how long anything can sit unverified.
+Query results and committed chains stay bit-identical in every mode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import messages as msg
+from repro.core.messages import NotarizationShare
+from repro.core.pool import MessagePool
+from repro.obs import NULL_TRACER
+from repro.sim.simulator import Simulation
+
+from .test_pool import Forge
+
+
+def _forged_notar_share(forge, block, signer):
+    # Signed over a different message than the share's fields claim.
+    other = forge.block(round=block.round + 7, proposer=3)
+    signed = msg.notarization_message(other.round, other.proposer, other.hash)
+    return NotarizationShare(
+        round=block.round,
+        proposer=block.proposer,
+        block_hash=block.hash,
+        signer=signer,
+        share=forge.rings[signer - 1].sign_notary_share(signed),
+    )
+
+
+class TestTargetedFlush:
+    def test_query_flushes_only_its_own_key(self):
+        forge = Forge()
+        pool = MessagePool(forge.rings[0], batch_verify=True)
+        block_a = forge.block(round=1, proposer=1)
+        block_b = forge.block(round=2, proposer=2)
+        pool.add(block_a)
+        pool.add(block_b)
+        pool.add(forge.notar_share(block_a, 1))
+        # A forged share for B stays queued — and undetected — until a
+        # query observes B's key.
+        pool.add(_forged_notar_share(forge, block_b, 2))
+        dropped_before = pool.stats.invalid_dropped
+        assert pool.notar_share_count(block_a.hash) == 1
+        assert pool.stats.invalid_dropped == dropped_before  # B untouched
+        assert pool.notar_share_count(block_b.hash) == 0
+        assert pool.stats.invalid_dropped == dropped_before + 1
+
+    def test_across_heights_off_flushes_everything(self):
+        forge = Forge()
+        pool = MessagePool(forge.rings[0], batch_verify=True)
+        pool.flush_across_heights = False
+        block_a = forge.block(round=1, proposer=1)
+        block_b = forge.block(round=2, proposer=2)
+        pool.add(block_a)
+        pool.add(block_b)
+        pool.add(_forged_notar_share(forge, block_b, 2))
+        dropped_before = pool.stats.invalid_dropped
+        # Querying A's key flushes the whole pending set in legacy mode.
+        assert pool.notar_share_count(block_a.hash) == 0
+        assert pool.stats.invalid_dropped == dropped_before + 1
+
+    def test_query_results_identical_in_both_modes(self):
+        forge = Forge()
+        across = MessagePool(forge.rings[0], batch_verify=True)
+        legacy = MessagePool(forge.rings[0], batch_verify=True)
+        legacy.flush_across_heights = False
+        blocks = [forge.block(round=r, proposer=1 + (r - 1) % 4) for r in (1, 2, 3)]
+        for pool in (across, legacy):
+            for block in blocks:
+                pool.add(block)
+            for block in blocks:
+                for signer in (1, 2, 3):
+                    pool.add(forge.notar_share(block, signer))
+                pool.add(forge.final_share(block, 1))
+        for block in blocks:
+            assert (
+                across.notar_share_count(block.hash)
+                == legacy.notar_share_count(block.hash)
+                == 3
+            )
+            assert [s.signer for s in across.notar_shares(block.hash)] == [
+                s.signer for s in legacy.notar_shares(block.hash)
+            ]
+            assert (
+                across.final_share_count(block.hash)
+                == legacy.final_share_count(block.hash)
+                == 1
+            )
+        assert across.artifact_count() == legacy.artifact_count()
+
+
+class TestSizeTrigger:
+    def test_flush_min_batch_flushes_inside_add(self):
+        forge = Forge()
+        pool = MessagePool(forge.rings[0], batch_verify=True)
+        pool.flush_min_batch = 2
+        block = forge.block()
+        pool.add(block)
+        dropped_before = pool.stats.invalid_dropped
+        pool.add(_forged_notar_share(forge, block, 2))
+        assert pool.stats.invalid_dropped == dropped_before  # 1 < min batch
+        pool.add(forge.notar_share(block, 1))  # hits the size trigger
+        assert pool.stats.invalid_dropped == dropped_before + 1
+
+    def test_zero_min_batch_never_triggers(self):
+        forge = Forge()
+        pool = MessagePool(forge.rings[0], batch_verify=True)
+        assert pool.flush_min_batch == 0
+        block = forge.block()
+        pool.add(block)
+        dropped_before = pool.stats.invalid_dropped
+        for signer in (1, 2, 3):
+            pool.add(_forged_notar_share(forge, block, signer))
+        assert pool.stats.invalid_dropped == dropped_before  # still queued
+
+
+class TestDeadlineTrigger:
+    def _timed_pool(self, forge):
+        pool = MessagePool(forge.rings[0], batch_verify=True)
+        sim = Simulation(seed=0)
+        pool.bind_tracing(NULL_TRACER, sim, party=1, protocol="test")
+        return pool, sim
+
+    def test_deadline_flushes_stale_pending(self):
+        forge = Forge()
+        pool, sim = self._timed_pool(forge)
+        pool.flush_deadline = 1.0
+        block = forge.block()
+        pool.add(block)
+        dropped_before = pool.stats.invalid_dropped
+        pool.add(_forged_notar_share(forge, block, 2))
+        assert pool.stats.invalid_dropped == dropped_before  # fresh
+        sim.now = 5.0
+        pool.add(forge.notar_share(block, 1))  # deadline exceeded: flush
+        assert pool.stats.invalid_dropped == dropped_before + 1
+
+    def test_no_deadline_means_no_time_trigger(self):
+        forge = Forge()
+        pool, sim = self._timed_pool(forge)
+        assert pool.flush_deadline is None
+        block = forge.block()
+        pool.add(block)
+        dropped_before = pool.stats.invalid_dropped
+        pool.add(_forged_notar_share(forge, block, 2))
+        sim.now = 1e6
+        pool.add(forge.notar_share(block, 1))
+        assert pool.stats.invalid_dropped == dropped_before
+
+
+class TestClusterConfigWiring:
+    def test_invalid_flush_settings_rejected(self):
+        from repro.core import ClusterConfig
+        from repro.sim.delays import FixedDelay
+
+        with pytest.raises(ValueError, match="crypto_flush_min_batch"):
+            ClusterConfig(
+                n=4, t=1, delta_bound=0.3, epsilon=0.01,
+                delay_model=FixedDelay(0.05), crypto_flush_min_batch=-1,
+            )
+        with pytest.raises(ValueError, match="crypto_flush_deadline"):
+            ClusterConfig(
+                n=4, t=1, delta_bound=0.3, epsilon=0.01,
+                delay_model=FixedDelay(0.05), crypto_flush_deadline=-0.1,
+            )
+
+    def _run(self, **overrides):
+        from repro.core import ClusterConfig, build_cluster
+        from repro.sim.delays import FixedDelay
+
+        config = ClusterConfig(
+            n=4, t=1, delta_bound=0.3, epsilon=0.01,
+            delay_model=FixedDelay(0.05), max_rounds=6, seed=3,
+            crypto_backend="real", **overrides,
+        )
+        cluster = build_cluster(config)
+        cluster.start()
+        cluster.run_until_all_committed_round(5, timeout=120)
+        cluster.check_safety()
+        return cluster
+
+    def test_cluster_bit_identical_across_flush_modes(self):
+        reference = self._run()
+        for overrides in (
+            {"crypto_flush_across_heights": False},
+            {"crypto_flush_min_batch": 4},
+            {"crypto_flush_deadline": 0.2},
+        ):
+            other = self._run(**overrides)
+            assert other.party(1).committed_hashes == reference.party(1).committed_hashes
+            assert other.min_committed_round() == reference.min_committed_round()
+            assert other.sim.now == reference.sim.now

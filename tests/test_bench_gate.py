@@ -149,6 +149,25 @@ class TestGateLoad:
         ) == []
 
 
+def hotpath_report(best=3.0, queue=1.3, identical=True) -> dict:
+    return {
+        "benchmark": "hot-path profile",
+        "backends": {
+            "pure": {"ops_per_sec": 1000.0, "speedup": 1.0},
+            "window": {"ops_per_sec": 1000.0 * best, "speedup": best},
+            "gmpy2": "skipped",
+        },
+        "best_backend": "window",
+        "best_speedup": best,
+        "event_queue": {
+            "heap_ops_per_sec": 100000.0,
+            "calendar_ops_per_sec": 100000.0 * queue,
+            "speedup": queue,
+        },
+        "results_identical": identical,
+    }
+
+
 def shard_report(gain=4.0, penalty=2.4, monotonic=True, forged=True, identical=True) -> dict:
     return {
         "benchmark": "multi-subnet sharding",
@@ -255,6 +274,15 @@ class TestCommittedSnapshots:
         # Gating the committed snapshot against itself must pass.
         assert bench_gate.gate_shard(report, report, 0.25) == []
 
+    def test_committed_hotpath_snapshot_is_sane(self):
+        with open(bench_gate.HOTPATH_BASELINE, encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert report["results_identical"] is True
+        assert report["best_speedup"] >= 2.0
+        assert report["event_queue"]["speedup"] >= 1.0
+        # Gating the committed snapshot against itself must pass.
+        assert bench_gate.gate_hotpath(report, report, 0.25) == []
+
 
 class TestMain:
     def _write(self, path, data):
@@ -280,6 +308,10 @@ class TestMain:
             self._write(tmp_path / "sb.json", shard_report()),
             "--shard-fresh",
             self._write(tmp_path / "sf.json", shard_report(gain=3.8)),
+            "--hotpath-baseline",
+            self._write(tmp_path / "hb.json", hotpath_report()),
+            "--hotpath-fresh",
+            self._write(tmp_path / "hf.json", hotpath_report(best=2.9)),
         ])
         assert status == 0
         assert "passed" in capsys.readouterr().out
@@ -290,7 +322,7 @@ class TestMain:
             self._write(tmp_path / "sb.json", shard_report()),
             "--shard-fresh",
             self._write(tmp_path / "sf.json", shard_report(identical=False)),
-            "--skip-crypto", "--skip-runner", "--skip-load",
+            "--skip-crypto", "--skip-runner", "--skip-load", "--skip-hotpath",
         ])
         assert status == 1
         assert "FAILED" in capsys.readouterr().out
@@ -301,7 +333,7 @@ class TestMain:
             self._write(tmp_path / "cb.json", crypto_report({"schnorr": 10.0})),
             "--crypto-fresh",
             self._write(tmp_path / "cf.json", crypto_report({"schnorr": 2.0})),
-            "--skip-runner", "--skip-load", "--skip-shard",
+            "--skip-runner", "--skip-load", "--skip-shard", "--skip-hotpath",
         ])
         assert status == 1
         assert "FAILED" in capsys.readouterr().out
@@ -312,7 +344,18 @@ class TestMain:
             self._write(tmp_path / "lb.json", load_report()),
             "--load-fresh",
             self._write(tmp_path / "lf.json", load_report(match=False)),
-            "--skip-crypto", "--skip-runner", "--skip-shard",
+            "--skip-crypto", "--skip-runner", "--skip-shard", "--skip-hotpath",
+        ])
+        assert status == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_main_fails_on_hotpath_mismatch(self, tmp_path, capsys):
+        status = bench_gate.main([
+            "--hotpath-baseline",
+            self._write(tmp_path / "hb.json", hotpath_report()),
+            "--hotpath-fresh",
+            self._write(tmp_path / "hf.json", hotpath_report(identical=False)),
+            "--skip-crypto", "--skip-runner", "--skip-load", "--skip-shard",
         ])
         assert status == 1
         assert "FAILED" in capsys.readouterr().out
@@ -324,7 +367,8 @@ class TestMain:
         status = bench_gate.main([
             "--crypto-baseline", str(baseline),
             "--crypto-fresh", self._write(tmp_path / "cf.json", fresh),
-            "--skip-runner", "--skip-load", "--skip-shard", "--update",
+            "--skip-runner", "--skip-load", "--skip-shard", "--skip-hotpath",
+            "--update",
         ])
         assert status == 0
         assert json.loads(baseline.read_text()) == fresh
@@ -336,7 +380,8 @@ class TestMain:
         status = bench_gate.main([
             "--runner-baseline", str(baseline),
             "--runner-fresh", self._write(tmp_path / "rf.json", bad),
-            "--skip-crypto", "--skip-load", "--skip-shard", "--update",
+            "--skip-crypto", "--skip-load", "--skip-shard", "--skip-hotpath",
+            "--update",
         ])
         assert status == 1
         assert json.loads(baseline.read_text()) == runner_report(2.0)

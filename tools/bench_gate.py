@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
 """Bench regression gate: committed snapshots vs a fresh quick run.
 
-The repository commits four benchmark snapshots — ``BENCH_crypto.json``
+The repository commits five benchmark snapshots — ``BENCH_crypto.json``
 (crypto fast path, written by ``python -m repro bench --json``),
 ``BENCH_runner.json`` (experiment runner, ``python -m repro bench-runner
 --json``), ``BENCH_load.json`` (load/batching pipeline, ``python -m
-repro load --bench --json``) and ``BENCH_shard.json`` (multi-subnet
-sharding, ``python -m repro shard --bench --json``).  This gate re-runs
+repro load --bench --json``), ``BENCH_shard.json`` (multi-subnet
+sharding, ``python -m repro shard --bench --json``) and
+``BENCH_hotpath.json`` (crypto backends / event queue / cross-height
+flushing, ``python -m repro profile --json``).  This gate re-runs
 the benchmarks in ``--quick`` mode and compares the *ratio* metrics
 (batch-verification speedups, runner speedup, setup-cache speedup,
 batching gain, shard scaling gain) against the committed values with a
@@ -21,8 +23,10 @@ Usage::
     python tools/bench_gate.py [--tolerance 0.25] [--update]
         [--crypto-baseline PATH] [--runner-baseline PATH]
         [--load-baseline PATH] [--shard-baseline PATH]
+        [--hotpath-baseline PATH]
         [--crypto-fresh PATH] [--runner-fresh PATH]
         [--load-fresh PATH] [--shard-fresh PATH]
+        [--hotpath-fresh PATH]
 
 Passing ``--*-fresh`` files skips running that benchmark (useful for
 tests and for gating artifacts produced elsewhere in CI).  ``--update``
@@ -44,6 +48,7 @@ CRYPTO_BASELINE = os.path.join(ROOT, "BENCH_crypto.json")
 RUNNER_BASELINE = os.path.join(ROOT, "BENCH_runner.json")
 LOAD_BASELINE = os.path.join(ROOT, "BENCH_load.json")
 SHARD_BASELINE = os.path.join(ROOT, "BENCH_shard.json")
+HOTPATH_BASELINE = os.path.join(ROOT, "BENCH_hotpath.json")
 
 #: Default relative tolerance: fresh ratio may be this fraction below
 #: the committed one before the gate fails.  Improvements never fail.
@@ -199,6 +204,56 @@ def gate_shard(committed: dict, fresh: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def gate_hotpath(committed: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Failures for the hot-path snapshot (``BENCH_hotpath.json``).
+
+    ``results_identical`` is a correctness bit — it asserts the same
+    seeded deployment commits the identical chain under every crypto
+    backend, under both event-queue implementations, and with
+    cross-height flushing on or off; False in either snapshot fails
+    outright.  The backend and event-queue speedups are wall-clock
+    ratios and get the usual tolerance band; a fresh speedup below 1
+    (the optimised path losing to its own baseline) always fails.  The
+    committed snapshot must additionally keep the paper-the-cost claim
+    honest: best backend at least 2x over ``pure``.
+    """
+    failures: list[str] = []
+    for report, origin in ((committed, "committed"), (fresh, "fresh")):
+        if report.get("results_identical") is not True:
+            failures.append(
+                f"hotpath[{origin}]: results differ across backends/queues/"
+                "flush modes"
+            )
+    committed_best = committed.get("best_speedup")
+    if isinstance(committed_best, (int, float)) and committed_best < 2.0:
+        failures.append(
+            f"hotpath: committed best-backend speedup {committed_best:.3g} "
+            "< 2x over pure — re-measure before committing the snapshot"
+        )
+    failures += _ratio_check(
+        "hotpath.best_speedup",
+        committed_best,
+        fresh.get("best_speedup"),
+        tolerance,
+    )
+    failures += _ratio_check(
+        "hotpath.event_queue.speedup",
+        committed.get("event_queue", {}).get("speedup"),
+        fresh.get("event_queue", {}).get("speedup"),
+        tolerance,
+    )
+    for name, value in (
+        ("best backend", fresh.get("best_speedup")),
+        ("calendar event queue", fresh.get("event_queue", {}).get("speedup")),
+    ):
+        if isinstance(value, (int, float)) and value < 1.0:
+            failures.append(
+                f"hotpath: {name} slower than its baseline "
+                f"(speedup {value:.3g} < 1)"
+            )
+    return failures
+
+
 def audit_snapshot(report: dict) -> list[str]:
     """Sanity-check a runner snapshot for internally nonsensical data.
 
@@ -279,6 +334,22 @@ def _run_fresh_shard() -> dict:
         return json.load(handle)
 
 
+def _run_fresh_hotpath() -> dict:
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+    import tempfile
+
+    from repro.experiments import profile_hotpath
+
+    with tempfile.NamedTemporaryFile("r", suffix=".json") as handle:
+        status = profile_hotpath.main(
+            ["--quick", "--seed", "0", "--json", handle.name]
+        )
+        if status:
+            raise SystemExit(f"fresh hotpath bench failed with status {status}")
+        handle.seek(0)
+        return json.load(handle)
+
+
 def _load(path: str) -> dict:
     with open(path, encoding="utf-8") as handle:
         return json.load(handle)
@@ -298,6 +369,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--runner-baseline", default=RUNNER_BASELINE)
     parser.add_argument("--load-baseline", default=LOAD_BASELINE)
     parser.add_argument("--shard-baseline", default=SHARD_BASELINE)
+    parser.add_argument("--hotpath-baseline", default=HOTPATH_BASELINE)
     parser.add_argument("--crypto-fresh", default=None,
                         help="use this JSON instead of running the bench")
     parser.add_argument("--runner-fresh", default=None,
@@ -306,10 +378,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="use this JSON instead of running the bench")
     parser.add_argument("--shard-fresh", default=None,
                         help="use this JSON instead of running the bench")
+    parser.add_argument("--hotpath-fresh", default=None,
+                        help="use this JSON instead of running the bench")
     parser.add_argument("--skip-crypto", action="store_true")
     parser.add_argument("--skip-runner", action="store_true")
     parser.add_argument("--skip-load", action="store_true")
     parser.add_argument("--skip-shard", action="store_true")
+    parser.add_argument("--skip-hotpath", action="store_true")
     parser.add_argument("--update", action="store_true",
                         help="rewrite committed snapshots from fresh results")
     args = parser.parse_args(argv)
@@ -370,6 +445,19 @@ def main(argv: list[str] | None = None) -> int:
             print(f"updated {args.shard_baseline}")
         else:
             failures += gate_shard(committed, fresh, args.tolerance)
+
+    if not args.skip_hotpath:
+        committed = _load(args.hotpath_baseline)
+        fresh = (
+            _load(args.hotpath_fresh)
+            if args.hotpath_fresh
+            else _run_fresh_hotpath()
+        )
+        if args.update:
+            _write(args.hotpath_baseline, fresh)
+            print(f"updated {args.hotpath_baseline}")
+        else:
+            failures += gate_hotpath(committed, fresh, args.tolerance)
 
     if failures:
         print("bench gate FAILED:")

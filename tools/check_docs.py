@@ -23,6 +23,9 @@ Checks every ``*.md`` file in the repo root and ``docs/``:
   documented in ``docs/OBSERVABILITY.md``;
 * every committed ``BENCH_*.json`` snapshot in the repo root is
   described in ``docs/PERFORMANCE.md``;
+* every crypto backend registered in ``src/repro/crypto/backend.py`` is
+  documented in ``docs/PERFORMANCE.md`` (textual scan of
+  ``register_backend(...)`` calls);
 * every ``shard.*`` metric and event kind additionally appears in
   ``docs/SHARDING.md`` (the sharding subsystem's own page must not
   drift from the registries either).
@@ -227,6 +230,39 @@ def check_bench_docs(problems: list[str]) -> None:
             )
 
 
+#: ``register_backend("name", ...)`` registrations in the backend module.
+BACKEND_RE = re.compile(r"""register_backend\(\s*\n?\s*["']([a-z0-9_]+)["']""")
+
+
+def registered_backends() -> list[str]:
+    """Backend names registered in ``src/repro/crypto/backend.py``."""
+    module = REPO / "src" / "repro" / "crypto" / "backend.py"
+    if not module.is_file():
+        return []
+    return sorted(set(BACKEND_RE.findall(module.read_text(encoding="utf-8"))))
+
+
+def check_backend_docs(problems: list[str]) -> None:
+    """Every registered crypto backend must appear backticked in
+    PERFORMANCE.md, the hot-path reference page."""
+    names = registered_backends()
+    if not names:
+        return
+    doc = REPO / "docs" / "PERFORMANCE.md"
+    if not doc.is_file():
+        problems.append(
+            "docs/PERFORMANCE.md: missing (cannot check crypto backend docs)"
+        )
+        return
+    text = doc.read_text(encoding="utf-8")
+    for name in names:
+        if f"`{name}`" not in text:
+            problems.append(
+                f"docs/PERFORMANCE.md: crypto backend {name!r} is undocumented "
+                f"(no `{name}` mention found)"
+            )
+
+
 def run() -> list[str]:
     problems: list[str] = []
     for path in doc_files():
@@ -238,6 +274,7 @@ def run() -> list[str]:
     check_event_docs(problems)
     check_shard_docs(problems)
     check_bench_docs(problems)
+    check_backend_docs(problems)
     return problems
 
 
