@@ -24,6 +24,13 @@ Commands:
   hotspots) — see ``docs/PERFORMANCE.md``;
 * ``bench-runner`` — experiment-suite wall-clock benchmark (serial vs
   parallel runner, setup-cache hit rates) — see ``docs/PERFORMANCE.md``;
+* ``serve``       — one live protocol party over real TCP (the per-process
+  binary ``live`` spawns; config file names peers/ports/keys) — see
+  ``docs/TRANSPORT.md``;
+* ``live``        — orchestrate an n-party localhost TCP cluster, drive
+  client load through the batching pipeline, record wall-clock
+  finalization (``--bench`` for the BENCH_live leg, ``--check`` for the
+  CI smoke leg) — see ``docs/TRANSPORT.md``;
 * ``versions``    — substrate self-check (group parameters, codec, sizes).
 """
 
@@ -301,6 +308,18 @@ def _cmd_versions(args: argparse.Namespace) -> None:
     print("reed-solomon: self-check OK (3-of-7 over 64 bytes)")
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    from repro.net import live as live_mod
+
+    sys.exit(live_mod.serve(args))
+
+
+def _cmd_live(args: argparse.Namespace) -> None:
+    from repro.net import live as live_mod
+
+    sys.exit(live_mod.live(args))
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -554,6 +573,70 @@ def main(argv: list[str] | None = None) -> None:
         help="fail if the parallel runner is slower than serial beyond noise",
     )
     bench_runner.set_defaults(func=_cmd_bench_runner)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run one live party over TCP (the per-process binary that "
+             "`live` spawns) — see docs/TRANSPORT.md",
+    )
+    serve.add_argument(
+        "--config", required=True, metavar="PATH",
+        help="shared cluster config JSON (peers/ports/keys)",
+    )
+    serve.add_argument(
+        "--index", required=True, type=int, metavar="I",
+        help="which party of the config this process is (1-based)",
+    )
+    serve.add_argument(
+        "--result", metavar="PATH", default=None,
+        help="write the JSON result record here (default: stdout)",
+    )
+    serve.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="export this party's trace events as JSONL",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    live = sub.add_parser(
+        "live",
+        help="orchestrate an n-party localhost TCP cluster (one serve "
+             "process per party) — see docs/TRANSPORT.md",
+    )
+    live.add_argument("--n", type=int, default=4)
+    live.add_argument(
+        "--protocol", choices=["icc0", "icc1", "icc2"], default="icc0"
+    )
+    live.add_argument(
+        "--heights", type=int, default=20, metavar="K",
+        help="finalized height every party must reach",
+    )
+    live.add_argument("--epsilon", type=float, default=0.05,
+                      help="protocol governor ε (round pacing on localhost)")
+    live.add_argument("--timeout", type=float, default=60.0,
+                      help="hard wall-clock budget (seconds)")
+    live.add_argument("--seed", type=int, default=0)
+    live.add_argument(
+        "--load", type=int, default=160, metavar="R",
+        help="deterministic client requests through the batching pipeline "
+             "(0 = empty payloads)",
+    )
+    live.add_argument(
+        "--inproc", action="store_true",
+        help="co-host all parties on one event loop (still real TCP) "
+             "instead of spawning serve processes",
+    )
+    live.add_argument(
+        "--check", action="store_true",
+        help="quick in-process 4-party smoke leg (CI): finalize 5 heights, "
+             "verify liveness + the prefix property",
+    )
+    live.add_argument(
+        "--bench", action="store_true",
+        help="write the run's summary as the BENCH_live.json snapshot",
+    )
+    live.add_argument("--json", metavar="PATH", default=None,
+                      help="write the summary JSON here as well")
+    live.set_defaults(func=_cmd_live)
 
     versions = sub.add_parser("versions", help="substrate self-check")
     versions.set_defaults(func=_cmd_versions)

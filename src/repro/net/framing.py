@@ -1,0 +1,181 @@
+"""Wire framing for the TCP transport: length-prefixed, typed frames.
+
+The stream protocol is deliberately minimal (``docs/TRANSPORT.md`` has the
+layout table and the rationale):
+
+.. code-block:: text
+
+    frame := length (4 bytes, big-endian, = len(body)) || body
+    body  := type (1 byte) || payload
+
+    type 0x01  HELLO  payload = sender index (4 bytes, big-endian)
+                                || cluster id (UTF-8, rest of frame)
+    type 0x02  MSG    payload = link sequence number (8 bytes, big-endian)
+                                || one pickled protocol message
+    type 0x03  ACK    payload = cumulative sequence number (8 bytes)
+
+A connection opens with exactly one HELLO (so the acceptor knows which
+party is talking and that it belongs to the same cluster), then carries
+MSG frames until it closes; the acceptor answers with ACK frames on the
+same (full-duplex) connection.  Anything else — unknown type byte, a
+body longer than ``max_frame``, a zero-length body, a payload that fails
+to decode — is a :class:`FrameError`; the transport closes the
+connection and counts ``live.frames.rejected``.
+
+MSG sequence numbers are per *directed peer link* (they survive
+reconnects) and make delivery reliable without trusting TCP's write
+buffer: a ``drain()`` that succeeds just before the peer dies proves
+nothing, so the sender retains every frame until the receiver's
+cumulative ACK covers it and retransmits the tail on reconnect.  The
+receiver deduplicates by sequence number, so each protocol message is
+handed to the party exactly once per link.
+
+Message payloads are encoded with :mod:`pickle`.  That is an explicit
+trust statement, not an oversight: every signature object in
+:mod:`repro.crypto` is an arbitrary Python dataclass (the whole point of
+the pluggable backends), and the live transport connects the *configured
+peer set only* — the same trust boundary under which the simulator hands
+Python objects between parties directly.  A deployment hardening pass
+would replace the codec (the one function below) with a schema'd
+encoding; nothing else in the transport would change.  Oversized-frame
+rejection still bounds memory against a misbehaving peer, and every
+protocol message a frame delivers goes through the message pool's full
+cryptographic verification exactly as in the simulator.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+#: Frame body length cap (bytes).  The paper's "a block's payload may
+#: typically be a few megabytes" sets the scale; 16 MiB leaves headroom
+#: for a large block plus pickle overhead while bounding what one peer
+#: can make us buffer.
+DEFAULT_MAX_FRAME = 16 * 1024 * 1024
+
+_LEN_SIZE = 4
+_TYPE_HELLO = 0x01
+_TYPE_MSG = 0x02
+_TYPE_ACK = 0x03
+_SEQ_SIZE = 8
+
+
+class FrameError(ValueError):
+    """A malformed frame or payload (connection-fatal)."""
+
+
+class OversizedFrame(FrameError):
+    """A frame whose declared body length exceeds the cap."""
+
+
+def encode_frame(body: bytes, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Wrap a body in the length prefix (refusing oversized bodies)."""
+    if not body:
+        raise FrameError("refusing to encode an empty frame body")
+    if len(body) > max_frame:
+        raise OversizedFrame(
+            f"frame body of {len(body)} bytes exceeds the {max_frame}-byte cap"
+        )
+    return len(body).to_bytes(_LEN_SIZE, "big") + body
+
+
+def hello_frame(index: int, cluster_id: str, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """The handshake frame a connector sends first."""
+    if index < 1:
+        raise FrameError(f"party index {index} is not positive")
+    body = bytes([_TYPE_HELLO]) + index.to_bytes(4, "big") + cluster_id.encode("utf-8")
+    return encode_frame(body, max_frame)
+
+
+def message_frame(
+    seq: int, message: object, max_frame: int = DEFAULT_MAX_FRAME
+) -> bytes:
+    """Encode one protocol message as a MSG frame with link sequence ``seq``."""
+    if seq < 1:
+        raise FrameError(f"MSG sequence numbers start at 1, got {seq}")
+    body = (
+        bytes([_TYPE_MSG])
+        + seq.to_bytes(_SEQ_SIZE, "big")
+        + pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+    return encode_frame(body, max_frame)
+
+
+def ack_frame(seq: int, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Cumulative acknowledgement: every MSG up to ``seq`` was delivered."""
+    if seq < 0:
+        raise FrameError(f"ACK sequence must be >= 0, got {seq}")
+    return encode_frame(bytes([_TYPE_ACK]) + seq.to_bytes(_SEQ_SIZE, "big"), max_frame)
+
+
+def decode_payload(body: bytes) -> tuple[str, object]:
+    """Decode one frame body into ``("hello", (index, cluster_id))``,
+    ``("msg", (seq, message))`` or ``("ack", seq)``; raises
+    :class:`FrameError` on malformed input."""
+    if not body:
+        raise FrameError("empty frame body")
+    frame_type = body[0]
+    if frame_type == _TYPE_HELLO:
+        if len(body) < 5:
+            raise FrameError("truncated HELLO frame")
+        index = int.from_bytes(body[1:5], "big")
+        try:
+            cluster_id = body[5:].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise FrameError(f"HELLO cluster id is not UTF-8: {exc}") from exc
+        if index < 1:
+            raise FrameError(f"HELLO carries invalid party index {index}")
+        return "hello", (index, cluster_id)
+    if frame_type == _TYPE_MSG:
+        if len(body) < 1 + _SEQ_SIZE + 1:
+            raise FrameError("truncated MSG frame")
+        seq = int.from_bytes(body[1 : 1 + _SEQ_SIZE], "big")
+        try:
+            return "msg", (seq, pickle.loads(body[1 + _SEQ_SIZE :]))
+        except Exception as exc:  # pickle raises a zoo of types
+            raise FrameError(f"undecodable MSG payload: {exc}") from exc
+    if frame_type == _TYPE_ACK:
+        if len(body) != 1 + _SEQ_SIZE:
+            raise FrameError("malformed ACK frame")
+        return "ack", int.from_bytes(body[1:], "big")
+    raise FrameError(f"unknown frame type 0x{frame_type:02x}")
+
+
+class FrameDecoder:
+    """Incremental frame parser: feed arbitrary byte chunks, get bodies out.
+
+    TCP gives no message boundaries — a frame may arrive byte-by-byte or
+    glued to its neighbours.  The decoder buffers partial input and yields
+    each complete body exactly once, raising :class:`OversizedFrame` as
+    soon as a length prefix exceeds the cap (before buffering the body,
+    so a hostile peer cannot make us allocate it).
+    """
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Absorb ``data``; return every frame body completed by it."""
+        self._buffer.extend(data)
+        bodies: list[bytes] = []
+        while True:
+            if len(self._buffer) < _LEN_SIZE:
+                return bodies
+            length = int.from_bytes(self._buffer[:_LEN_SIZE], "big")
+            if length == 0:
+                raise FrameError("zero-length frame")
+            if length > self.max_frame:
+                raise OversizedFrame(
+                    f"peer declared a {length}-byte frame "
+                    f"(cap {self.max_frame})"
+                )
+            if len(self._buffer) < _LEN_SIZE + length:
+                return bodies
+            bodies.append(bytes(self._buffer[_LEN_SIZE : _LEN_SIZE + length]))
+            del self._buffer[: _LEN_SIZE + length]
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting a complete frame (for tests/metrics)."""
+        return len(self._buffer)

@@ -1,0 +1,292 @@
+"""The ``python -m repro serve`` and ``python -m repro live`` entry points.
+
+``serve`` is the party binary: load the shared cluster config, become
+party ``--index``, run until the target height (or timeout / SIGTERM),
+then write a JSON result record.  ``live`` is the orchestrator: allocate
+ports, write the config, spawn one ``serve`` process per party, collect
+the per-party records, check the paper's prefix property across them,
+and report wall-clock finalization results — optionally as the
+``BENCH_live.json`` leg that :mod:`tools.bench_gate` gates.
+
+The quick in-process mode (``--inproc``, implied by ``--check``) runs
+the same protocol/transport stack on one event loop via
+:class:`~repro.net.cluster.LiveCluster` — fast enough for CI smoke runs
+and for :func:`run_live_inproc`, which ``tools/bench_gate.py --live-fresh``
+calls to re-measure the committed snapshot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+
+from ..obs import Meter, Tracer, write_jsonl
+from .cluster import LiveCluster
+from .config import LiveConfig, load_live_config, local_live_config
+from .party import LiveParty
+
+#: Extra wall-clock slack the orchestrator grants each serve process
+#: beyond the config timeout before killing it.
+KILL_GRACE = 10.0
+
+
+# --------------------------------------------------------------------- serve
+
+
+async def _serve(config: LiveConfig, index: int, tracer, meter) -> dict:
+    loop = asyncio.get_running_loop()
+    live = LiveParty(config, index, loop=loop, tracer=tracer, meter=meter)
+    stop_requested = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop_requested.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-Unix loop; the hard-timeout path still applies
+    await live.start()
+    waiter = asyncio.ensure_future(
+        live.wait_for_height(config.target_height, config.timeout)
+    )
+    stopper = asyncio.ensure_future(stop_requested.wait())
+    done, _pending = await asyncio.wait(
+        {waiter, stopper}, return_when=asyncio.FIRST_COMPLETED
+    )
+    reached = waiter in done and waiter.result()
+    for task in (waiter, stopper):
+        task.cancel()
+    await live.stop()
+    result = live.result()
+    result["reached_target"] = bool(reached)
+    result["target_height"] = config.target_height
+    return result
+
+
+def serve(args) -> int:
+    """``python -m repro serve --config cluster.json --index 2``."""
+    config = load_live_config(args.config)
+    tracer = Tracer() if args.trace else None
+    meter = Meter()
+    result = asyncio.run(_serve(config, args.index, tracer, meter))
+    result["meter"] = {
+        name: meter.counter_value(name)
+        for name in ("live.connects", "live.reconnects", "live.dup_connections",
+                     "live.frames.rejected", "net.messages")
+    }
+    if args.trace:
+        write_jsonl(tracer.export_events(), args.trace)
+    payload = json.dumps(result, indent=1, sort_keys=True)
+    if args.result:
+        with open(args.result, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+    else:
+        print(payload)
+    return 0 if result["reached_target"] else 1
+
+
+# ---------------------------------------------------------------------- live
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    values = sorted(values)
+    pos = min(len(values) - 1, max(0, round(q * (len(values) - 1))))
+    return values[pos]
+
+
+def _prefix_consistent(chains: list[list[str]]) -> bool:
+    """The paper's safety property over the reported committed chains."""
+    reference = max(chains, key=len, default=[])
+    return all(chain == reference[: len(chain)] for chain in chains)
+
+
+def summarize(config: LiveConfig, results: list[dict]) -> dict:
+    """Aggregate per-party serve records into the BENCH_live ``live`` block."""
+    heights = [r["height"] for r in results]
+    min_height = min(heights, default=0)
+    live_ok = bool(results) and all(r.get("reached_target") for r in results)
+    safety_ok = bool(results) and _prefix_consistent(
+        [r["committed"] for r in results]
+    )
+    wall = max((r["wall_seconds"] for r in results), default=0.0)
+    latencies = results[0].get("request_latencies", []) if results else []
+    return {
+        "live_ok": live_ok,
+        "safety_ok": safety_ok,
+        "parties_reporting": len(results),
+        "min_height": min_height,
+        "max_height": max(heights, default=0),
+        "wall_seconds": round(wall, 3),
+        "heights_per_sec": round(min_height / wall, 2) if wall > 0 else 0.0,
+        "requests_completed": results[0].get("requests_completed", 0) if results else 0,
+        "request_latency_p50": round(_percentile(latencies, 0.50), 4),
+        "request_latency_p90": round(_percentile(latencies, 0.90), 4),
+    }
+
+
+def bench_snapshot(config: LiveConfig, live_block: dict) -> dict:
+    """The full BENCH_live.json document (see docs/PERFORMANCE.md)."""
+    return {
+        "benchmark": (
+            "live TCP transport: localhost cluster, wall-clock finalization"
+        ),
+        "seed": config.seed,
+        "cluster": {
+            "n": config.n,
+            "t": config.t,
+            "protocol": config.protocol,
+            "transport": "tcp-localhost",
+            "epsilon": config.epsilon,
+        },
+        "target_height": config.target_height,
+        "live": live_block,
+    }
+
+
+async def _run_inproc(config: LiveConfig) -> list[dict]:
+    async with LiveCluster(config) as cluster:
+        reached = await cluster.wait_for_height(
+            config.target_height, config.timeout
+        )
+        results = cluster.results()
+        for record in results:
+            record["reached_target"] = (
+                reached or record["height"] >= config.target_height
+            )
+            record["target_height"] = config.target_height
+        try:
+            cluster.check_safety()
+        except AssertionError:
+            for record in results:
+                record["committed"] = record["committed"] or ["<diverged>"]
+        return results
+
+
+def run_live_inproc(config: LiveConfig) -> dict:
+    """One in-process live run, summarized (the bench-gate fresh probe)."""
+    results = asyncio.run(_run_inproc(config))
+    return summarize(config, results)
+
+
+def _spawn_cluster(config: LiveConfig, workdir: str) -> list[dict]:
+    """One serve process per party; returns the collected result records."""
+    config_path = os.path.join(workdir, "cluster.json")
+    config.save(config_path)
+    procs: list[subprocess.Popen] = []
+    result_paths: list[str] = []
+    for i in range(1, config.n + 1):
+        result_path = os.path.join(workdir, f"result-{i}.json")
+        result_paths.append(result_path)
+        procs.append(
+            subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "serve",
+                    "--config", config_path,
+                    "--index", str(i),
+                    "--result", result_path,
+                ],
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.STDOUT,
+            )
+        )
+    deadline = config.timeout + KILL_GRACE
+    results: list[dict] = []
+    try:
+        for proc in procs:
+            try:
+                proc.wait(timeout=deadline)
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=KILL_GRACE)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+    for path in result_paths:
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as fh:
+                results.append(json.load(fh))
+    return results
+
+
+def _print_summary(config: LiveConfig, live_block: dict) -> None:
+    print(
+        f"live cluster: n={config.n} t={config.t} protocol={config.protocol} "
+        f"target={config.target_height} heights (tcp localhost)"
+    )
+    print(
+        f"  finalized   : min height {live_block['min_height']} "
+        f"in {live_block['wall_seconds']:.2f}s wall "
+        f"({live_block['heights_per_sec']:.1f} heights/s)"
+    )
+    print(
+        f"  liveness    : {'ok' if live_block['live_ok'] else 'FAILED'} "
+        f"({live_block['parties_reporting']}/{config.n} parties reporting)"
+    )
+    print(f"  safety      : {'ok' if live_block['safety_ok'] else 'VIOLATED'}")
+    if live_block["requests_completed"]:
+        print(
+            f"  client load : {live_block['requests_completed']} requests, "
+            f"latency p50 {live_block['request_latency_p50'] * 1000:.0f} ms / "
+            f"p90 {live_block['request_latency_p90'] * 1000:.0f} ms"
+        )
+
+
+def live(args) -> int:
+    """``python -m repro live`` — orchestrate a local n-party TCP cluster."""
+    if args.check:
+        config = local_live_config(
+            4, t=1, seed=args.seed, protocol=args.protocol,
+            epsilon=0.02, target_height=5, timeout=30.0,
+            load_requests=40, load_batch=8,
+        )
+        live_block = run_live_inproc(config)
+        _print_summary(config, live_block)
+        return 0 if live_block["live_ok"] and live_block["safety_ok"] else 1
+
+    config = local_live_config(
+        args.n,
+        t=(args.n - 1) // 3,
+        seed=args.seed,
+        protocol=args.protocol,
+        epsilon=args.epsilon,
+        target_height=args.heights,
+        timeout=args.timeout,
+        load_requests=args.load,
+        load_batch=16,
+    )
+    if args.inproc:
+        results = asyncio.run(_run_inproc(config))
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-live-") as workdir:
+            results = _spawn_cluster(config, workdir)
+    live_block = summarize(config, results)
+    _print_summary(config, live_block)
+    snapshot = bench_snapshot(config, live_block)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"  wrote {args.json}")
+    if args.bench:
+        with open("BENCH_live.json", "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print("  wrote BENCH_live.json")
+    return 0 if live_block["live_ok"] and live_block["safety_ok"] else 1
+
+
+__all__ = [
+    "bench_snapshot",
+    "live",
+    "run_live_inproc",
+    "serve",
+    "summarize",
+]

@@ -1,0 +1,245 @@
+"""One live protocol party: unmodified ``repro.core`` objects on sockets.
+
+:class:`LiveParty` performs exactly the wiring :func:`repro.core.cluster
+.build_cluster` performs for the simulator — derive the keyring, build
+the protocol params, construct the party, install the payload hooks —
+except the ``sim`` it hands the party is a :class:`~repro.net.clock
+.WallClock` and the ``network`` is a :class:`~repro.net.transport
+.TcpNetwork`.  Nothing under :mod:`repro.core` is imported in a modified
+form; the party class cannot tell which world it is in.
+
+Client load rides the PR 6 batching pipeline unchanged: each process
+builds a :class:`~repro.workloads.batching.RequestBatcher`, derives the
+*same* deterministic signed-request set from the shared config seed
+(every party would admit the identical ingress — the shared-ingress
+shortcut the simulator's load harness also takes), and wires
+``payload_source`` / ``payload_verifier`` / commit listeners exactly as
+:class:`~repro.core.cluster.ClusterConfig` does.  Chain-level dedup in
+``payload_source`` keeps a request from being packed twice even though
+every party holds a copy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from random import Random
+
+from ..core.icc0 import ICC0Party, empty_payload_source
+from ..core.icc1 import ICC1Party
+from ..core.icc2 import ICC2Party
+from ..core.params import ProtocolParams, StandardDelays
+from ..crypto.keyring import generate_keyrings
+from ..gossip import GossipParams, build_overlay
+from ..workloads.batching import BatchSpec, RequestBatcher, SignedRequest
+from .clock import WallClock
+from .config import LiveConfig
+from .transport import TcpNetwork
+
+_PARTY_CLASSES = {"icc0": ICC0Party, "icc1": ICC1Party, "icc2": ICC2Party}
+
+
+def generate_load_requests(config: LiveConfig, batcher: RequestBatcher) -> list[SignedRequest]:
+    """The deterministic request set every party derives from the seed.
+
+    Request ids depend only on ``(client, seq)``, so even if an auth
+    scheme signed non-deterministically the parties would still agree on
+    *which* requests exist — ids are what chain dedup and completion
+    tracking key on.
+    """
+    rng = Random(f"live-load/{config.seed}")
+    requests: list[SignedRequest] = []
+    for i in range(config.load_requests):
+        client = i % config.load_clients
+        seq = i // config.load_clients
+        key = rng.randrange(10_000)
+        body = b"live/%d/%d" % (client, seq)
+        auth = batcher.auth.sign(client, seq, key, body)
+        requests.append(
+            SignedRequest(client=client, seq=seq, key=key, auth=auth, body=body)
+        )
+    return requests
+
+
+class LiveParty:
+    """One party of a live cluster: clock + transport + protocol + load.
+
+    Build it inside a running event loop (``build_live_party`` or
+    :class:`~repro.net.cluster.LiveCluster` handle that), then::
+
+        await live.start()
+        ok = await live.wait_for_height(20, timeout=60)
+        await live.stop()
+        print(live.result())
+    """
+
+    def __init__(
+        self,
+        config: LiveConfig,
+        index: int,
+        *,
+        loop: asyncio.AbstractEventLoop | None = None,
+        tracer=None,
+        meter=None,
+    ) -> None:
+        if not 1 <= index <= config.n:
+            raise ValueError(f"index {index} out of range 1..{config.n}")
+        self.config = config
+        self.index = index
+        self.clock = WallClock(loop=loop, seed=config.seed * 7919 + index)
+        if tracer is not None:
+            self.clock.tracer = tracer
+        if meter is not None:
+            self.clock.meter = meter
+        self.network = TcpNetwork(
+            self.clock,
+            index,
+            config.peer_table(),
+            cluster_id=config.cluster_id,
+            max_frame=config.max_frame,
+        )
+
+        # -- client load (optional, the PR 6 pipeline) -----------------------
+        self.batcher: RequestBatcher | None = None
+        self._load_queue: list[SignedRequest] = []
+        payload_source = empty_payload_source
+        payload_verifier = None
+        if config.load_requests > 0:
+            self.batcher = RequestBatcher(
+                BatchSpec(
+                    batch_max=config.load_batch,
+                    auth=config.client_auth,
+                    group_profile=config.group_profile,
+                ),
+                seed=config.seed,
+            )
+            # Manual bind: there is no Cluster object here.  Same wiring,
+            # one party instead of "the first honest party".
+            self.batcher._sim = self.clock
+            self.batcher._tracer = self.clock.tracer
+            self.batcher._meter = self.clock.meter
+            self._load_queue = generate_load_requests(config, self.batcher)
+            payload_source = self.batcher.payload_source
+            payload_verifier = self.batcher.verify_block
+
+        # -- the unmodified protocol party -----------------------------------
+        keyrings = generate_keyrings(
+            config.n,
+            config.t,
+            seed=config.seed,
+            backend=config.crypto_backend,
+            group_profile=config.group_profile,
+        )
+        params = ProtocolParams(
+            n=config.n,
+            t=config.t,
+            delays=StandardDelays(
+                delta_bound=config.delta_bound, epsilon=config.epsilon
+            ),
+            max_rounds=config.max_rounds,
+        )
+        extra: dict = {}
+        if config.protocol == "icc1":
+            extra["overlay"] = build_overlay(
+                config.n, config.gossip_degree, seed=config.seed
+            )
+            extra["gossip_params"] = GossipParams(degree=config.gossip_degree)
+        self.party = _PARTY_CLASSES[config.protocol](
+            index=index,
+            keyring=keyrings[index - 1],
+            params=params,
+            sim=self.clock,
+            network=self.network,
+            payload_source=payload_source,
+            **extra,
+        )
+        self.party.pool.payload_verifier = payload_verifier
+        if self.batcher is not None:
+            self.party.commit_listeners.append(self.batcher._on_commit)
+
+        self._height_event = asyncio.Event()
+        self.party.commit_listeners.append(lambda _block: self._height_event.set())
+        self._started = False
+        self._load_handle: asyncio.TimerHandle | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener, start dialling peers, start the protocol.
+
+        There is no startup barrier: the party starts immediately and its
+        round-1 messages sit in the per-peer outbound queues until each
+        peer comes up (reconnect/backoff is the barrier).  ICC tolerates
+        that asynchrony by design.
+        """
+        await self.network.start()
+        self.network.attach(self.party)
+        self.party.start()
+        if self._load_queue:
+            self._pump_load()
+        self._started = True
+
+    def _pump_load(self) -> None:
+        """Admit the next chunk of the deterministic request set."""
+        chunk = self._load_queue[: self.config.load_batch]
+        del self._load_queue[: self.config.load_batch]
+        if chunk and self.batcher is not None:
+            now = self.clock.now
+            self.batcher.admit_batch([(request, now) for request in chunk])
+        if self._load_queue:
+            self._load_handle = self.clock.schedule(
+                self.config.load_tick, self._pump_load
+            )
+        else:
+            self._load_handle = None
+
+    async def wait_for_height(self, height: int, timeout: float) -> bool:
+        """True once the local party has committed through ``height``."""
+        deadline = self.clock.now + timeout
+        while self.party.k_max < height:
+            remaining = deadline - self.clock.now
+            if remaining <= 0:
+                return False
+            self._height_event.clear()
+            try:
+                await asyncio.wait_for(self._height_event.wait(), remaining)
+            except asyncio.TimeoutError:
+                return False
+        return True
+
+    async def stop(self) -> None:
+        if self._load_handle is not None:
+            self._load_handle.cancel()
+            self._load_handle = None
+        await self.network.stop()
+
+    # -- results --------------------------------------------------------------
+
+    def result(self) -> dict:
+        """The JSON-able record ``repro serve`` reports when it exits."""
+        latencies = sorted(self.batcher.latencies) if self.batcher else []
+        return {
+            "index": self.index,
+            "height": self.party.k_max,
+            "committed": [h.hex() for h in self.party.committed_hashes],
+            "wall_seconds": round(self.clock.now, 6),
+            "requests_completed": self.batcher.completed if self.batcher else 0,
+            "request_latencies": [round(v, 6) for v in latencies],
+            "net_messages": sum(self.network.metrics.msgs_sent.values()),
+            "net_bytes": sum(self.network.metrics.bytes_sent.values()),
+            "frames_rejected": self.network.frames_rejected,
+        }
+
+
+def build_live_party(
+    config: LiveConfig,
+    index: int,
+    *,
+    loop: asyncio.AbstractEventLoop | None = None,
+    tracer=None,
+    meter=None,
+) -> LiveParty:
+    """Construct (but do not start) one live party."""
+    return LiveParty(config, index, loop=loop, tracer=tracer, meter=meter)
+
+
+__all__ = ["LiveParty", "build_live_party", "generate_load_requests"]

@@ -1,0 +1,569 @@
+"""The asyncio/TCP network: the live counterpart of :class:`repro.sim.network.Network`.
+
+One :class:`TcpNetwork` serves one party.  It implements the exact
+transmission surface the protocol objects use — ``attach`` /
+``broadcast`` / ``send`` / ``multicast``, plus the same
+:class:`repro.sim.metrics.Metrics` traffic accounting and the same
+``net.*`` meter counters — so an :class:`~repro.core.icc0.ICC0Party`
+(or ICC1/ICC2) cannot tell it is talking to sockets.
+
+Topology: every pair of parties is connected by **two TCP connections,
+one per direction** — each side owns its outbound connection and accepts
+the inbound one.  That keeps connection ownership trivial (no tie-break
+protocol for simultaneous dials) at the cost of one extra socket per
+pair, which is irrelevant at consensus committee sizes.
+
+Outbound path: per-peer FIFO of sequence-numbered frames drained by a
+sender task that dials the peer, sends a HELLO, then writes frames while
+reading cumulative ACKs off the same connection.  A frame stays buffered
+until an ACK covers it — a successful ``drain()`` proves nothing about
+delivery (the kernel buffers it; the peer may die first) — and on
+reconnect (exponential backoff, jittered, capped) the whole unACKed tail
+is retransmitted.  The receiver deduplicates by sequence number, so the
+link gives in-order exactly-once delivery to the party even though the
+wire is at-least-once.
+
+Inbound path: the acceptor requires a HELLO naming a configured peer of
+the same cluster before any message frame.  A duplicate connection from
+a peer supersedes the previous one (newest wins — the peer evidently
+reconnected); the per-peer delivery sequence survives the swap, so
+retransmitted frames from either connection dedup correctly.  Malformed,
+oversized or undecodable frames close the connection and count
+``live.frames.rejected``.
+
+Fault injection, crashes and partitions are **simulator-only** concepts
+(they manipulate virtual delivery the transport does not control); the
+corresponding methods raise :class:`SimulatorOnlyFeature` — see
+``docs/FAULTS.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Iterable
+
+from ..sim.metrics import Metrics
+from ..sim.network import Receiver, message_kind, wire_size
+from .clock import WallClock
+from .framing import (
+    DEFAULT_MAX_FRAME,
+    FrameDecoder,
+    FrameError,
+    ack_frame,
+    decode_payload,
+    hello_frame,
+    message_frame,
+)
+
+#: Reconnect backoff defaults (seconds): first retry after ``BACKOFF_BASE``,
+#: doubling (with jitter in [0.5x, 1x]) up to ``BACKOFF_CAP``.
+BACKOFF_BASE = 0.05
+BACKOFF_CAP = 2.0
+
+
+class SimulatorOnlyFeature(RuntimeError):
+    """A simulator-only control (faults/crash/partition) was used on the
+    live transport.  See docs/FAULTS.md — fault scenarios drive *virtual*
+    delivery; over real sockets use OS-level tooling (kill the process,
+    drop packets with tc/iptables) instead."""
+
+
+class _PeerLink:
+    """Outbound side of one peer: unACKed frame buffer + reconnecting sender.
+
+    Frames carry per-link sequence numbers and stay in ``unacked`` until
+    the peer's cumulative ACK covers them; every (re)connection rewinds
+    the write cursor to the last ACK, retransmitting the tail.
+    """
+
+    def __init__(self, net: "TcpNetwork", peer: int, host: str, port: int) -> None:
+        self.net = net
+        self.peer = peer
+        self.host = host
+        self.port = port
+        self.unacked: deque[tuple[int, bytes]] = deque()
+        self.next_seq = 1
+        self.acked = 0
+        self._wire_seq = 0  # highest seq written on the current connection
+        self.wakeup = asyncio.Event()
+        self.task: asyncio.Task | None = None
+        self.connected = False
+        self.connects = 0  # successful dials (>= 2 means it reconnected)
+
+    def enqueue(self, message: object) -> None:
+        seq = self.next_seq
+        self.next_seq += 1
+        frame = message_frame(seq, message, self.net.max_frame)
+        self.unacked.append((seq, frame))
+        self.wakeup.set()
+
+    @property
+    def queued(self) -> int:
+        """Frames awaiting acknowledgement (for tests/metrics)."""
+        return len(self.unacked)
+
+    def start(self) -> None:
+        self.task = self.net.clock.loop.create_task(
+            self._run(), name=f"icc-net-out-{self.net.index}->{self.peer}"
+        )
+
+    async def _run(self) -> None:
+        backoff = self.net.backoff_base
+        while not self.net._closing:
+            try:
+                reader, writer = await asyncio.open_connection(self.host, self.port)
+            except OSError:
+                await asyncio.sleep(self._jitter(backoff))
+                backoff = min(backoff * 2.0, self.net.backoff_cap)
+                continue
+            backoff = self.net.backoff_base
+            self.connected = True
+            self.connects += 1
+            self.net._on_peer_connect(self.peer, "out", reconnect=self.connects > 1)
+            try:
+                writer.write(hello_frame(self.net.index, self.net.cluster_id, self.net.max_frame))
+                await writer.drain()
+                await self._converse(reader, writer)
+            except (ConnectionError, OSError):
+                pass  # fall through to reconnect; unACKed frames stay buffered
+            finally:
+                self.connected = False
+                self.net._on_peer_disconnect(self.peer, "out")
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+    async def _converse(self, reader: asyncio.StreamReader,
+                        writer: asyncio.StreamWriter) -> None:
+        """Run the write and ACK-read loops until either side of the
+        connection fails; whichever loop notices first ends both."""
+        self._wire_seq = self.acked  # rewind: retransmit the unACKed tail
+        loop = self.net.clock.loop
+        tasks = {
+            loop.create_task(self._write_loop(writer)),
+            loop.create_task(self._read_acks(reader)),
+        }
+        try:
+            await asyncio.wait(tasks, return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _write_loop(self, writer: asyncio.StreamWriter) -> None:
+        while not self.net._closing:
+            frame = self._next_unsent()
+            if frame is None:
+                self.wakeup.clear()
+                if self._next_unsent() is None:  # re-check: no lost wakeups
+                    await self.wakeup.wait()
+                continue
+            seq, payload = frame
+            writer.write(payload)
+            await writer.drain()
+            self._wire_seq = seq
+
+    def _next_unsent(self) -> tuple[int, bytes] | None:
+        for seq, frame in self.unacked:
+            if seq > self._wire_seq:
+                return seq, frame
+        return None
+
+    async def _read_acks(self, reader: asyncio.StreamReader) -> None:
+        decoder = FrameDecoder(self.net.max_frame)
+        while True:
+            data = await reader.read(65536)
+            if not data:
+                return  # EOF — peer closed; _converse reconnects
+            for body in decoder.feed(data):
+                kind, payload = decode_payload(body)
+                if kind != "ack":
+                    raise FrameError(
+                        f"expected ACK on the outbound connection, got {kind}"
+                    )
+                self._on_ack(payload)
+
+    def _on_ack(self, seq: int) -> None:
+        if seq > self.acked:
+            self.acked = seq
+        while self.unacked and self.unacked[0][0] <= self.acked:
+            self.unacked.popleft()
+
+    def _jitter(self, backoff: float) -> float:
+        return backoff * (0.5 + 0.5 * self.net.clock.rng.random())
+
+    async def stop(self) -> None:
+        if self.task is not None:
+            self.task.cancel()
+            try:
+                await self.task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+
+class TcpNetwork:
+    """Length-prefix-framed TCP fabric with the simulator Network's surface.
+
+    ``peers`` maps every party index (including our own) to ``(host,
+    port)``; we listen on our own entry and dial the others.  ``metrics``
+    defaults to a fresh :class:`~repro.sim.metrics.Metrics` with the same
+    byte/message conventions as the simulator (broadcast counts ``n``
+    messages but only ``n - 1`` wire copies).
+    """
+
+    def __init__(
+        self,
+        clock: WallClock,
+        index: int,
+        peers: dict[int, tuple[str, int]],
+        *,
+        cluster_id: str = "icc-live",
+        metrics: Metrics | None = None,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        backoff_base: float = BACKOFF_BASE,
+        backoff_cap: float = BACKOFF_CAP,
+    ) -> None:
+        if index not in peers:
+            raise ValueError(f"own index {index} missing from the peer table")
+        self.clock = clock
+        #: Alias matching the simulator Network's ``sim`` attribute —
+        #: gossip/RBC endpoints resolve their scheduler through
+        #: ``network.sim``, and WallClock satisfies the same surface.
+        self.sim = clock
+        self.index = index
+        self.n = len(peers)
+        self.peers = dict(peers)
+        self.cluster_id = cluster_id
+        self.metrics = metrics if metrics is not None else Metrics(n=self.n)
+        self.max_frame = max_frame
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._party: Receiver | None = None
+        self._links: dict[int, _PeerLink] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._inbound_writers: dict[int, asyncio.StreamWriter] = {}
+        self._accept_tasks: set[asyncio.Task] = set()
+        self._closing = False
+        self._delivered = 0
+        #: Highest MSG sequence delivered per peer.  Lives on the network
+        #: (not the connection) so it survives reconnects and duplicate
+        #: connections — it is what makes retransmission exactly-once.
+        self._delivered_seq: dict[int, int] = {}
+        self.frames_rejected = 0
+
+    # -- observability (same resolution rule as the simulator Network) ------
+
+    @property
+    def tracer(self):
+        return self.clock.tracer
+
+    @property
+    def meter(self):
+        return self.clock.meter
+
+    @property
+    def rng(self):
+        return self.clock.rng
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self, party: Receiver) -> None:
+        """Attach the single local party (its index must be ours)."""
+        if party.index != self.index:
+            raise ValueError(
+                f"party index {party.index} does not match transport index {self.index}"
+            )
+        if self._party is not None:
+            raise ValueError(f"party {self.index} already attached")
+        self._party = party
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the per-peer sender tasks."""
+        if self._server is not None:
+            raise RuntimeError("transport already started")
+        host, port = self.peers[self.index]
+        self._server = await asyncio.start_server(self._accept, host, port)
+        for peer, (peer_host, peer_port) in sorted(self.peers.items()):
+            if peer == self.index:
+                continue
+            link = _PeerLink(self, peer, peer_host, peer_port)
+            self._links[peer] = link
+            link.start()
+
+    @property
+    def bound_port(self) -> int:
+        """The port the listener actually bound (resolves port 0)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("transport is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Tear everything down: listener, acceptor tasks, sender tasks."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._accept_tasks):
+            task.cancel()
+        for link in self._links.values():
+            link.wakeup.set()  # unblock queue waits so tasks observe _closing
+            await link.stop()
+        for writer in list(self._inbound_writers.values()):
+            writer.close()
+        if self._accept_tasks:
+            await asyncio.gather(*self._accept_tasks, return_exceptions=True)
+        self._accept_tasks.clear()
+
+    # -- transmission (the surface the protocol objects call) ----------------
+
+    def broadcast(self, sender: int, message: object, round: int | None = None) -> None:
+        """Same-message-to-everyone, self-delivery included (Section 3.1)."""
+        self._require_local(sender)
+        size = wire_size(message)
+        self.metrics.on_broadcast(sender, size, message_kind(message), round)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                time=self.clock.now, party=sender, protocol="net", round=round,
+                kind="net.broadcast",
+                payload={"kind": message_kind(message), "bytes": size, "copies": self.n},
+            )
+        meter = self.meter
+        if meter.enabled:
+            meter.count("net.messages", self.n)
+            meter.count("net.bytes", size * (self.n - 1))
+            meter.observe("net.message.bytes", size)
+        for link in self._links.values():
+            link.enqueue(message)
+        self._loopback(message)
+
+    def send(self, sender: int, receiver: int, message: object, round: int | None = None) -> None:
+        """Point-to-point send (gossip, ICC2 fragments)."""
+        self._require_local(sender)
+        size = wire_size(message)
+        self.metrics.on_send(sender, size, message_kind(message), round)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                time=self.clock.now, party=sender, protocol="net", round=round,
+                kind="net.send",
+                payload={"kind": message_kind(message), "bytes": size, "receiver": receiver},
+            )
+        meter = self.meter
+        if meter.enabled:
+            meter.count("net.messages")
+            meter.count("net.bytes", size)
+            meter.observe("net.message.bytes", size)
+        if receiver == sender:
+            self._loopback(message)
+            return
+        link = self._links.get(receiver)
+        if link is None:
+            raise ValueError(f"unknown receiver {receiver}")
+        link.enqueue(message)
+
+    def multicast(self, sender: int, receivers: Iterable[int], message: object,
+                  round: int | None = None) -> None:
+        """Same message to a subset (the gossip overlay's fan-out)."""
+        self._require_local(sender)
+        receivers = list(receivers)
+        size = wire_size(message)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                time=self.clock.now, party=sender, protocol="net", round=round,
+                kind="net.multicast",
+                payload={"kind": message_kind(message), "bytes": size,
+                         "receivers": len(receivers)},
+            )
+        meter = self.meter
+        if meter.enabled:
+            meter.count("net.messages", len(receivers))
+            meter.count("net.bytes", size * len(receivers))
+            meter.observe("net.message.bytes", size)
+        for receiver in receivers:
+            self.metrics.on_send(sender, size, message_kind(message), round)
+            if receiver == sender:
+                self._loopback(message)
+                continue
+            link = self._links.get(receiver)
+            if link is None:
+                raise ValueError(f"unknown receiver {receiver}")
+            link.enqueue(message)
+
+    def _require_local(self, sender: int) -> None:
+        if sender != self.index:
+            raise ValueError(
+                f"transport for party {self.index} cannot send as party {sender}"
+            )
+
+    def _loopback(self, message: object) -> None:
+        """Self-delivery: scheduled, never reentrant (mirrors the simulator,
+        where a party's own messages arrive as a separate zero-delay event)."""
+        self.clock.loop.call_soon(self._hand_over, message)
+
+    def _hand_over(self, message: object) -> None:
+        if self._closing:
+            return
+        if self._party is not None:
+            self._delivered += 1
+            self._party.on_receive(message)
+
+    @property
+    def delivered_count(self) -> int:
+        return self._delivered
+
+    # -- inbound -------------------------------------------------------------
+
+    async def _accept(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._accept_tasks.add(task)
+            task.add_done_callback(self._accept_tasks.discard)
+        peer_index: int | None = None
+        decoder = FrameDecoder(self.max_frame)
+        try:
+            while not self._closing:
+                try:
+                    data = await reader.read(65536)
+                except (ConnectionError, OSError):
+                    break
+                if not data:
+                    break  # EOF
+                try:
+                    bodies = decoder.feed(data)
+                    delivered_any = False
+                    for body in bodies:
+                        kind, payload = decode_payload(body)
+                        if peer_index is None:
+                            peer_index = self._handshake(kind, payload, writer)
+                        elif kind == "msg":
+                            seq, message = payload  # type: ignore[misc]
+                            if seq > self._delivered_seq.get(peer_index, 0):
+                                self._delivered_seq[peer_index] = seq
+                                self._hand_over(message)
+                            delivered_any = True
+                        else:
+                            raise FrameError(
+                                f"unexpected {kind.upper()} frame on an open "
+                                "inbound connection"
+                            )
+                except FrameError as exc:
+                    self._reject_frame(peer_index, exc)
+                    break
+                if delivered_any and peer_index is not None:
+                    # One cumulative ACK per read chunk releases the
+                    # sender's retransmit buffer (ACKed even when every
+                    # frame was a duplicate — the peer may have missed
+                    # the earlier ACK).
+                    try:
+                        writer.write(ack_frame(self._delivered_seq[peer_index]))
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        break
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if peer_index is not None and self._inbound_writers.get(peer_index) is writer:
+                del self._inbound_writers[peer_index]
+                self._on_peer_disconnect(peer_index, "in")
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _handshake(self, kind: str, payload: object, writer: asyncio.StreamWriter) -> int:
+        """Validate the first frame of an inbound connection."""
+        if kind != "hello":
+            raise FrameError("first frame was not HELLO")
+        index, cluster_id = payload  # type: ignore[misc]
+        if cluster_id != self.cluster_id:
+            raise FrameError(
+                f"HELLO from cluster {cluster_id!r} (expected {self.cluster_id!r})"
+            )
+        if index == self.index or index not in self.peers:
+            raise FrameError(f"HELLO from unknown party index {index}")
+        previous = self._inbound_writers.get(index)
+        if previous is not None:
+            # Duplicate connection: the peer reconnected (or a stale socket
+            # lingered).  Newest wins; closing the old transport makes its
+            # read loop see EOF and exit.
+            previous.close()
+            if self.meter.enabled:
+                self.meter.count("live.dup_connections")
+        self._inbound_writers[index] = writer
+        self._on_peer_connect(index, "in", reconnect=previous is not None)
+        return index
+
+    def _reject_frame(self, peer_index: int | None, exc: FrameError) -> None:
+        self.frames_rejected += 1
+        if self.meter.enabled:
+            self.meter.count("live.frames.rejected")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                time=self.clock.now, party=self.index, protocol="net", round=None,
+                kind="live.frame.rejected",
+                payload={"peer": peer_index, "reason": str(exc)},
+            )
+
+    # -- connection observability --------------------------------------------
+
+    def _on_peer_connect(self, peer: int, direction: str, reconnect: bool) -> None:
+        if self.meter.enabled:
+            self.meter.count("live.connects")
+            if reconnect:
+                self.meter.count("live.reconnects")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                time=self.clock.now, party=self.index, protocol="net", round=None,
+                kind="live.peer.connect",
+                payload={"peer": peer, "direction": direction, "reconnect": reconnect},
+            )
+
+    def _on_peer_disconnect(self, peer: int, direction: str) -> None:
+        if self._closing:
+            return
+        if self.tracer.enabled:
+            self.tracer.emit(
+                time=self.clock.now, party=self.index, protocol="net", round=None,
+                kind="live.peer.disconnect",
+                payload={"peer": peer, "direction": direction},
+            )
+
+    # -- simulator-only controls ----------------------------------------------
+
+    def install_faults(self, interceptor: object) -> None:
+        """Fault scenarios manipulate *virtual* delivery; the live transport
+        cannot honour them.  See docs/FAULTS.md ("Simulator-only")."""
+        raise SimulatorOnlyFeature(
+            "fault injection is simulator-only: TcpNetwork cannot intercept "
+            "real socket delivery — run the scenario against "
+            "repro.sim.network.Network, or use OS-level tooling for live "
+            "fault drills"
+        )
+
+    def clear_faults(self) -> None:
+        raise SimulatorOnlyFeature(
+            "fault injection is simulator-only: nothing to clear on TcpNetwork"
+        )
+
+    def crash(self, index: int) -> None:
+        raise SimulatorOnlyFeature(
+            "crash() is simulator-only: to crash a live party, stop its "
+            "process (the transport's reconnect/backoff handles the rest)"
+        )
+
+    def revive(self, index: int) -> None:
+        raise SimulatorOnlyFeature(
+            "revive() is simulator-only: restart the party process instead"
+        )
+
+    def add_partition(self, group: set[int], heal_time: float) -> None:
+        raise SimulatorOnlyFeature(
+            "partitions are simulator-only: use OS-level packet filtering "
+            "for live partition drills"
+        )

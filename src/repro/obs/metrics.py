@@ -265,6 +265,27 @@ register_metric(
     unit="s", buckets=LATENCY_BUCKETS,
 )
 
+# -- live transport (repro.net) -----------------------------------------------
+
+register_metric(
+    "live.connects", "counter", "repro.net.transport",
+    "TCP connections established (both directions; includes reconnects).",
+)
+register_metric(
+    "live.reconnects", "counter", "repro.net.transport",
+    "Connections re-established after a drop (outbound redials plus "
+    "superseding inbound accepts).",
+)
+register_metric(
+    "live.dup_connections", "counter", "repro.net.transport",
+    "Duplicate inbound connections superseded (newest-wins policy).",
+)
+register_metric(
+    "live.frames.rejected", "counter", "repro.net.transport",
+    "Inbound frames rejected as malformed/oversized/undecodable (each "
+    "closes its connection).",
+)
+
 
 # ---------------------------------------------------------------- instruments
 

@@ -425,3 +425,26 @@ register(
     "shares for a block, ignoring rank priority and delays.",
     ("block",),
 )
+
+# -- live transport (repro.net) -----------------------------------------------
+
+register(
+    "live.peer.connect", "repro.net.transport",
+    "A TCP connection to/from `peer` came up (`direction` is \"out\" for "
+    "our dialled link, \"in\" for an accepted one; `reconnect` marks a "
+    "link that had been up before).",
+    ("peer", "direction", "reconnect"),
+)
+register(
+    "live.peer.disconnect", "repro.net.transport",
+    "A TCP connection to/from `peer` went down (the outbound side will "
+    "redial with exponential backoff).",
+    ("peer", "direction"),
+)
+register(
+    "live.frame.rejected", "repro.net.transport",
+    "An inbound connection delivered a malformed, oversized or "
+    "undecodable frame (`reason`) and was closed; `peer` is None when it "
+    "failed before a valid HELLO.",
+    ("peer", "reason"),
+)

@@ -1,0 +1,92 @@
+"""LiveConfig: JSON round-trip, validation, port allocation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.net.config import (
+    LiveConfig,
+    PeerSpec,
+    free_local_ports,
+    load_live_config,
+    local_live_config,
+    with_ports,
+)
+
+
+def make_config(**overrides) -> LiveConfig:
+    return local_live_config(4, ports=[9001, 9002, 9003, 9004], **overrides)
+
+
+class TestValidation:
+    def test_peer_count_must_match_n(self):
+        with pytest.raises(ValueError, match="names 3 peers but n=4"):
+            LiveConfig(
+                cluster_id="c", n=4,
+                peers=tuple(PeerSpec(i, "h", 9000 + i) for i in (1, 2, 3)),
+            )
+
+    def test_peer_indices_must_be_dense(self):
+        with pytest.raises(ValueError, match="must be exactly 1..3"):
+            LiveConfig(
+                cluster_id="c", n=3,
+                peers=tuple(PeerSpec(i, "h", 9000 + i) for i in (1, 2, 4)),
+            )
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            make_config(protocol="pbft")
+
+    def test_target_height_positive(self):
+        with pytest.raises(ValueError, match="target_height"):
+            make_config(target_height=0)
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self, tmp_path):
+        config = make_config(
+            cluster_id="rt", seed=9, protocol="icc1", t=1,
+            load_requests=80, epsilon=0.01,
+        )
+        path = tmp_path / "cluster.json"
+        config.save(str(path))
+        assert load_live_config(str(path)) == config
+
+    def test_unknown_keys_rejected(self, tmp_path):
+        data = make_config().to_json()
+        data["surprise"] = True
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="unknown config keys"):
+            load_live_config(str(path))
+
+    def test_peer_table_view(self):
+        config = make_config()
+        table = config.peer_table()
+        assert table[2] == ("127.0.0.1", 9002)
+        assert sorted(table) == [1, 2, 3, 4]
+        assert config.peer(3).port == 9003
+        with pytest.raises(KeyError):
+            config.peer(9)
+
+
+class TestPorts:
+    def test_free_ports_are_distinct(self):
+        ports = free_local_ports(8)
+        assert len(set(ports)) == 8
+        assert all(p > 0 for p in ports)
+
+    def test_local_config_allocates_fresh_ports(self):
+        config = local_live_config(4, cluster_id="x")
+        assert len({p.port for p in config.peers}) == 4
+
+    def test_with_ports_preserves_everything_else(self):
+        config = make_config(seed=5)
+        moved = with_ports(config, [1001, 1002, 1003, 1004])
+        assert [p.port for p in moved.peers] == [1001, 1002, 1003, 1004]
+        assert moved.seed == 5
+        assert moved.cluster_id == config.cluster_id
+        with pytest.raises(ValueError):
+            with_ports(config, [1, 2])

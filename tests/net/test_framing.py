@@ -1,0 +1,132 @@
+"""Framing layer: partial delivery, oversized rejection, payload decoding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.framing import (
+    DEFAULT_MAX_FRAME,
+    FrameDecoder,
+    FrameError,
+    OversizedFrame,
+    ack_frame,
+    decode_payload,
+    encode_frame,
+    hello_frame,
+    message_frame,
+)
+
+
+class TestEncode:
+    def test_round_trip_message(self):
+        frame = message_frame(9, {"hello": 1, "world": [2, 3]})
+        decoder = FrameDecoder()
+        (body,) = decoder.feed(frame)
+        kind, payload = decode_payload(body)
+        assert kind == "msg"
+        assert payload == (9, {"hello": 1, "world": [2, 3]})
+
+    def test_round_trip_hello(self):
+        frame = hello_frame(7, "cluster-x")
+        (body,) = FrameDecoder().feed(frame)
+        assert decode_payload(body) == ("hello", (7, "cluster-x"))
+
+    def test_round_trip_ack(self):
+        (body,) = FrameDecoder().feed(ack_frame(41))
+        assert decode_payload(body) == ("ack", 41)
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(FrameError):
+            encode_frame(b"")
+
+    def test_oversized_body_rejected_at_encode(self):
+        with pytest.raises(OversizedFrame):
+            encode_frame(b"x" * 101, max_frame=100)
+
+    def test_non_positive_hello_index_rejected(self):
+        with pytest.raises(FrameError):
+            hello_frame(0, "c")
+
+    def test_non_positive_msg_seq_rejected(self):
+        with pytest.raises(FrameError, match="start at 1"):
+            message_frame(0, "m")
+
+    def test_negative_ack_rejected(self):
+        with pytest.raises(FrameError):
+            ack_frame(-1)
+
+
+class TestDecodePayload:
+    def test_unknown_type_byte(self):
+        with pytest.raises(FrameError, match="unknown frame type"):
+            decode_payload(b"\x7fjunk")
+
+    def test_truncated_hello(self):
+        with pytest.raises(FrameError, match="truncated HELLO"):
+            decode_payload(b"\x01\x00\x00")
+
+    def test_truncated_msg(self):
+        with pytest.raises(FrameError, match="truncated MSG"):
+            decode_payload(b"\x02\x00\x00\x00\x00")
+
+    def test_undecodable_pickle(self):
+        with pytest.raises(FrameError, match="undecodable MSG"):
+            decode_payload(b"\x02" + (1).to_bytes(8, "big") + b"not-a-pickle")
+
+    def test_malformed_ack(self):
+        with pytest.raises(FrameError, match="malformed ACK"):
+            decode_payload(b"\x03\x00\x01")
+
+    def test_empty_body(self):
+        with pytest.raises(FrameError):
+            decode_payload(b"")
+
+
+class TestFrameDecoder:
+    def test_byte_by_byte_partial_delivery(self):
+        """TCP gives no boundaries: one byte at a time must still parse."""
+        frame = message_frame(1, ("block", 42))
+        decoder = FrameDecoder()
+        bodies = []
+        for i in range(len(frame)):
+            bodies += decoder.feed(frame[i : i + 1])
+        assert len(bodies) == 1
+        assert decode_payload(bodies[0]) == ("msg", (1, ("block", 42)))
+        assert decoder.pending_bytes == 0
+
+    def test_glued_frames_split(self):
+        frames = message_frame(1, "a") + message_frame(2, "b") + message_frame(3, "c")
+        bodies = FrameDecoder().feed(frames)
+        assert [decode_payload(b)[1] for b in bodies] == [
+            (1, "a"), (2, "b"), (3, "c"),
+        ]
+
+    def test_frame_split_across_feeds(self):
+        f1, f2 = message_frame(1, "a" * 100), message_frame(2, "b")
+        stream = f1 + f2
+        decoder = FrameDecoder()
+        cut = len(f1) - 3  # first frame still incomplete after chunk 1
+        bodies = decoder.feed(stream[:cut])
+        assert bodies == []
+        assert decoder.pending_bytes == cut
+        bodies = decoder.feed(stream[cut:])
+        assert [decode_payload(b)[1] for b in bodies] == [(1, "a" * 100), (2, "b")]
+
+    def test_oversized_rejected_before_body_arrives(self):
+        """The cap triggers on the declared length — no buffering of the
+        (potentially hostile) body happens first."""
+        decoder = FrameDecoder(max_frame=1024)
+        declared = (1024 + 1).to_bytes(4, "big")
+        with pytest.raises(OversizedFrame):
+            decoder.feed(declared)  # length prefix alone trips it
+
+    def test_zero_length_frame_rejected(self):
+        with pytest.raises(FrameError, match="zero-length"):
+            FrameDecoder().feed(b"\x00\x00\x00\x00")
+
+    def test_default_cap_accepts_large_block(self):
+        payload = b"p" * (4 * 1024 * 1024)  # a "few megabytes" block
+        frame = message_frame(1, payload)
+        assert len(frame) < DEFAULT_MAX_FRAME
+        (body,) = FrameDecoder().feed(frame)
+        assert decode_payload(body)[1] == (1, payload)

@@ -188,6 +188,85 @@ def shard_report(gain=4.0, penalty=2.4, monotonic=True, forged=True, identical=T
     }
 
 
+def live_report(
+    n=4, target=20, min_height=20, live_ok=True, safety_ok=True,
+    reporting=None, requests=160, p50=0.12, p90=0.14, rate=16.0,
+) -> dict:
+    return {
+        "benchmark": "live transport",
+        "seed": 0,
+        "cluster": {"n": n, "t": 1, "protocol": "icc0",
+                    "transport": "tcp-localhost", "epsilon": 0.05},
+        "target_height": target,
+        "live": {
+            "live_ok": live_ok,
+            "safety_ok": safety_ok,
+            "parties_reporting": n if reporting is None else reporting,
+            "min_height": min_height,
+            "max_height": min_height + 1,
+            "wall_seconds": 1.3,
+            "heights_per_sec": rate,
+            "requests_completed": requests,
+            "request_latency_p50": p50,
+            "request_latency_p90": p90,
+        },
+    }
+
+
+class TestGateLive:
+    def test_identical_snapshots_pass(self):
+        assert bench_gate.gate_live(live_report(), live_report(target=5, min_height=5), 0.25) == []
+
+    def test_liveness_failure_fails_either_side(self):
+        failures = bench_gate.gate_live(
+            live_report(live_ok=False), live_report(target=5, min_height=5), 0.25
+        )
+        assert any("committed" in f and "liveness" in f for f in failures)
+        failures = bench_gate.gate_live(
+            live_report(), live_report(target=5, min_height=5, live_ok=False), 0.25
+        )
+        assert any("fresh" in f and "liveness" in f for f in failures)
+
+    def test_safety_violation_fails(self):
+        failures = bench_gate.gate_live(
+            live_report(safety_ok=False), live_report(target=5, min_height=5), 0.25
+        )
+        assert any("prefix property" in f for f in failures)
+
+    def test_missing_party_fails(self):
+        failures = bench_gate.gate_live(
+            live_report(reporting=3), live_report(target=5, min_height=5), 0.25
+        )
+        assert any("3/4 parties" in f for f in failures)
+
+    def test_height_below_target_fails(self):
+        failures = bench_gate.gate_live(
+            live_report(min_height=19), live_report(target=5, min_height=5), 0.25
+        )
+        assert any("below target" in f for f in failures)
+
+    def test_inconsistent_latencies_fail(self):
+        failures = bench_gate.gate_live(
+            live_report(p50=0.2, p90=0.1), live_report(target=5, min_height=5), 0.25
+        )
+        assert any("latencies" in f for f in failures)
+
+    def test_zero_requests_skips_latency_check(self):
+        assert bench_gate.gate_live(
+            live_report(requests=0, p50=None, p90=None),
+            live_report(target=5, min_height=5), 0.25,
+        ) == []
+
+    def test_committed_snapshot_must_target_twenty_heights(self):
+        """The acceptance floor: a quick-probe snapshot cannot be the
+        committed baseline."""
+        failures = bench_gate.gate_live(
+            live_report(target=5, min_height=5),
+            live_report(target=5, min_height=5), 0.25,
+        )
+        assert any("acceptance floor is 20" in f for f in failures)
+
+
 class TestGateShard:
     def test_identical_snapshots_pass(self):
         assert bench_gate.gate_shard(shard_report(), shard_report(), 0.25) == []
@@ -283,6 +362,17 @@ class TestCommittedSnapshots:
         # Gating the committed snapshot against itself must pass.
         assert bench_gate.gate_hotpath(report, report, 0.25) == []
 
+    def test_committed_live_snapshot_is_sane(self):
+        with open(bench_gate.LIVE_BASELINE, encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert report["live"]["live_ok"] is True
+        assert report["live"]["safety_ok"] is True
+        assert report["target_height"] >= 20  # the PR's acceptance floor
+        assert report["live"]["min_height"] >= report["target_height"]
+        assert report["live"]["parties_reporting"] == report["cluster"]["n"]
+        # Gating the committed snapshot against itself must pass.
+        assert bench_gate.gate_live(report, report, 0.25) == []
+
 
 class TestMain:
     def _write(self, path, data):
@@ -323,6 +413,7 @@ class TestMain:
             "--shard-fresh",
             self._write(tmp_path / "sf.json", shard_report(identical=False)),
             "--skip-crypto", "--skip-runner", "--skip-load", "--skip-hotpath",
+            "--skip-live",
         ])
         assert status == 1
         assert "FAILED" in capsys.readouterr().out
@@ -334,6 +425,7 @@ class TestMain:
             "--crypto-fresh",
             self._write(tmp_path / "cf.json", crypto_report({"schnorr": 2.0})),
             "--skip-runner", "--skip-load", "--skip-shard", "--skip-hotpath",
+            "--skip-live",
         ])
         assert status == 1
         assert "FAILED" in capsys.readouterr().out
@@ -345,6 +437,7 @@ class TestMain:
             "--load-fresh",
             self._write(tmp_path / "lf.json", load_report(match=False)),
             "--skip-crypto", "--skip-runner", "--skip-shard", "--skip-hotpath",
+            "--skip-live",
         ])
         assert status == 1
         assert "FAILED" in capsys.readouterr().out
@@ -356,9 +449,54 @@ class TestMain:
             "--hotpath-fresh",
             self._write(tmp_path / "hf.json", hotpath_report(identical=False)),
             "--skip-crypto", "--skip-runner", "--skip-load", "--skip-shard",
+            "--skip-live",
         ])
         assert status == 1
         assert "FAILED" in capsys.readouterr().out
+
+    def test_main_fails_on_live_safety_violation(self, tmp_path, capsys):
+        status = bench_gate.main([
+            "--live-baseline",
+            self._write(tmp_path / "vb.json", live_report()),
+            "--live-fresh",
+            self._write(
+                tmp_path / "vf.json",
+                live_report(target=5, min_height=5, safety_ok=False),
+            ),
+            "--skip-crypto", "--skip-runner", "--skip-load", "--skip-shard",
+            "--skip-hotpath",
+        ])
+        assert status == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_main_passes_on_live_files(self, tmp_path, capsys):
+        status = bench_gate.main([
+            "--live-baseline",
+            self._write(tmp_path / "vb.json", live_report()),
+            "--live-fresh",
+            self._write(tmp_path / "vf.json", live_report(target=5, min_height=6)),
+            "--skip-crypto", "--skip-runner", "--skip-load", "--skip-shard",
+            "--skip-hotpath",
+        ])
+        assert status == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_update_refuses_quick_probe_live_snapshot(self, tmp_path, capsys):
+        """--update must not let the 5-height CI probe replace the
+        committed 20-height acceptance snapshot."""
+        baseline = tmp_path / "vb.json"
+        committed = live_report()
+        self._write(baseline, committed)
+        status = bench_gate.main([
+            "--live-baseline", str(baseline),
+            "--live-fresh",
+            self._write(tmp_path / "vf.json", live_report(target=5, min_height=5)),
+            "--skip-crypto", "--skip-runner", "--skip-load", "--skip-shard",
+            "--skip-hotpath",
+            "--update",
+        ])
+        assert status == 0
+        assert json.loads(baseline.read_text()) == committed  # unchanged
 
     def test_update_rewrites_baseline(self, tmp_path, capsys):
         baseline = tmp_path / "cb.json"
@@ -368,6 +506,7 @@ class TestMain:
             "--crypto-baseline", str(baseline),
             "--crypto-fresh", self._write(tmp_path / "cf.json", fresh),
             "--skip-runner", "--skip-load", "--skip-shard", "--skip-hotpath",
+            "--skip-live",
             "--update",
         ])
         assert status == 0
@@ -381,6 +520,7 @@ class TestMain:
             "--runner-baseline", str(baseline),
             "--runner-fresh", self._write(tmp_path / "rf.json", bad),
             "--skip-crypto", "--skip-load", "--skip-shard", "--skip-hotpath",
+            "--skip-live",
             "--update",
         ])
         assert status == 1

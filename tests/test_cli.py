@@ -67,6 +67,37 @@ class TestCli:
         for row in report["results"]:
             assert row["batch_ops_per_sec"] >= row["single_ops_per_sec"]
 
+    def test_live_check(self, capsys):
+        """The CI smoke leg: a tiny in-process TCP cluster to height 5."""
+        with pytest.raises(SystemExit) as exc:
+            main(["live", "--check", "--seed", "3"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "live cluster: n=4" in out
+        assert "liveness    : ok" in out
+        assert "safety      : ok" in out
+
+    def test_live_inproc_writes_snapshot(self, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "live.json")
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "live", "--inproc", "--heights", "3", "--load", "16",
+                "--seed", "1", "--json", path,
+            ])
+        assert exc.value.code == 0
+        with open(path, encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        assert snapshot["cluster"]["transport"] == "tcp-localhost"
+        assert snapshot["live"]["live_ok"] is True
+        assert snapshot["live"]["min_height"] >= 3
+
+    def test_serve_requires_config_and_index(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve"])
+        assert exc.value.code == 2  # argparse usage error
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -28,3 +28,16 @@ class TestDocs:
         module = load_checker()
         files = {p.name for p in module.doc_files()}
         assert {"README.md", "DESIGN.md", "EXPERIMENTS.md", "OBSERVABILITY.md"} <= files
+
+    def test_live_transport_names_are_checked(self):
+        """The checker must see the live.* registrations and hold
+        TRANSPORT.md to them — a rename in the registries without a doc
+        update has to fail check_live_docs."""
+        module = load_checker()
+        names = set(module.registered_metrics()) | set(module.registered_event_kinds())
+        live = {n for n in names if n.startswith("live.")}
+        assert {"live.connects", "live.peer.connect", "live.frame.rejected"} <= live
+
+    def test_cli_scan_sees_live_subcommands(self):
+        module = load_checker()
+        assert {"serve", "live"} <= set(module.cli_subcommands())

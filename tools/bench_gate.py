@@ -1,32 +1,36 @@
 #!/usr/bin/env python3
 """Bench regression gate: committed snapshots vs a fresh quick run.
 
-The repository commits five benchmark snapshots — ``BENCH_crypto.json``
+The repository commits six benchmark snapshots — ``BENCH_crypto.json``
 (crypto fast path, written by ``python -m repro bench --json``),
 ``BENCH_runner.json`` (experiment runner, ``python -m repro bench-runner
 --json``), ``BENCH_load.json`` (load/batching pipeline, ``python -m
 repro load --bench --json``), ``BENCH_shard.json`` (multi-subnet
-sharding, ``python -m repro shard --bench --json``) and
+sharding, ``python -m repro shard --bench --json``),
 ``BENCH_hotpath.json`` (crypto backends / event queue / cross-height
-flushing, ``python -m repro profile --json``).  This gate re-runs
-the benchmarks in ``--quick`` mode and compares the *ratio* metrics
-(batch-verification speedups, runner speedup, setup-cache speedup,
-batching gain, shard scaling gain) against the committed values with a
-relative tolerance band.  Absolute throughput is machine-dependent and
-is never gated; ratios of two timings on the same machine are what the
-snapshots actually promise.  (The shard legs are measured in simulation
-time and are bit-reproducible; they still go through the ratio check so
-an intentional re-baseline only needs ``--update``.)
+flushing, ``python -m repro profile --json``) and ``BENCH_live.json``
+(real-TCP localhost cluster, ``python -m repro live --bench``).  This
+gate re-runs the benchmarks in ``--quick`` mode and compares the *ratio*
+metrics (batch-verification speedups, runner speedup, setup-cache
+speedup, batching gain, shard scaling gain) against the committed values
+with a relative tolerance band.  Absolute throughput is
+machine-dependent and is never gated; ratios of two timings on the same
+machine are what the snapshots actually promise.  (The shard legs are
+measured in simulation time and are bit-reproducible; they still go
+through the ratio check so an intentional re-baseline only needs
+``--update``.  The live leg is pure wall clock, so it gates correctness
+bits — liveness, the prefix property, target height — instead of any
+timing ratio; see :func:`gate_live`.)
 
 Usage::
 
     python tools/bench_gate.py [--tolerance 0.25] [--update]
         [--crypto-baseline PATH] [--runner-baseline PATH]
         [--load-baseline PATH] [--shard-baseline PATH]
-        [--hotpath-baseline PATH]
+        [--hotpath-baseline PATH] [--live-baseline PATH]
         [--crypto-fresh PATH] [--runner-fresh PATH]
         [--load-fresh PATH] [--shard-fresh PATH]
-        [--hotpath-fresh PATH]
+        [--hotpath-fresh PATH] [--live-fresh PATH]
 
 Passing ``--*-fresh`` files skips running that benchmark (useful for
 tests and for gating artifacts produced elsewhere in CI).  ``--update``
@@ -49,6 +53,7 @@ RUNNER_BASELINE = os.path.join(ROOT, "BENCH_runner.json")
 LOAD_BASELINE = os.path.join(ROOT, "BENCH_load.json")
 SHARD_BASELINE = os.path.join(ROOT, "BENCH_shard.json")
 HOTPATH_BASELINE = os.path.join(ROOT, "BENCH_hotpath.json")
+LIVE_BASELINE = os.path.join(ROOT, "BENCH_live.json")
 
 #: Default relative tolerance: fresh ratio may be this fraction below
 #: the committed one before the gate fails.  Improvements never fail.
@@ -254,6 +259,74 @@ def gate_hotpath(committed: dict, fresh: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def gate_live(committed: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Failures for the live-transport snapshot (``BENCH_live.json``).
+
+    Wall-clock finalization latency is inherently machine-dependent, and
+    the fresh probe is a smaller cluster run than the committed snapshot,
+    so this leg gates **correctness bits**, not timing ratios: liveness
+    (every party reached the target height), safety (the reported
+    committed chains satisfy the paper's prefix property), full
+    attendance, and internally consistent latency numbers.  The committed
+    snapshot must additionally meet the PR's acceptance floor of 20
+    finalized heights.
+    """
+    failures: list[str] = []
+    for report, origin in ((committed, "committed"), (fresh, "fresh")):
+        live = report.get("live", {})
+        if live.get("live_ok") is not True:
+            failures.append(
+                f"live[{origin}]: liveness bit false — some party missed "
+                "its target height"
+            )
+        if live.get("safety_ok") is not True:
+            failures.append(
+                f"live[{origin}]: committed chains violate the prefix property"
+            )
+        n = report.get("cluster", {}).get("n")
+        if live.get("parties_reporting") != n:
+            failures.append(
+                f"live[{origin}]: {live.get('parties_reporting')}/{n} "
+                "parties reported a result"
+            )
+        target = report.get("target_height")
+        min_height = live.get("min_height")
+        if not (
+            isinstance(target, int)
+            and isinstance(min_height, int)
+            and min_height >= target
+        ):
+            failures.append(
+                f"live[{origin}]: min height {min_height!r} below target "
+                f"{target!r}"
+            )
+        p50 = live.get("request_latency_p50")
+        p90 = live.get("request_latency_p90")
+        if live.get("requests_completed", 0) > 0:
+            if not (
+                isinstance(p50, (int, float))
+                and isinstance(p90, (int, float))
+                and 0 < p50 <= p90
+            ):
+                failures.append(
+                    f"live[{origin}]: inconsistent request latencies "
+                    f"(p50 {p50!r}, p90 {p90!r})"
+                )
+        rate = live.get("heights_per_sec")
+        if not (isinstance(rate, (int, float)) and rate > 0):
+            failures.append(
+                f"live[{origin}]: non-positive finalization rate {rate!r}"
+            )
+    committed_target = committed.get("target_height")
+    if not (isinstance(committed_target, int) and committed_target >= 20):
+        failures.append(
+            f"live: committed snapshot targets {committed_target!r} heights "
+            "— the acceptance floor is 20; re-measure with "
+            "`python -m repro live --bench`"
+        )
+    return failures
+
+
 def audit_snapshot(report: dict) -> list[str]:
     """Sanity-check a runner snapshot for internally nonsensical data.
 
@@ -350,6 +423,22 @@ def _run_fresh_hotpath() -> dict:
         return json.load(handle)
 
 
+def _run_fresh_live() -> dict:
+    sys.path.insert(0, os.path.join(ROOT, "src"))
+
+    from repro.net.config import local_live_config
+    from repro.net.live import bench_snapshot, run_live_inproc
+
+    # The quick probe: a small in-process cluster (real TCP, one event
+    # loop) — the correctness bits are what gate_live checks, and those
+    # are target-size-independent.
+    config = local_live_config(
+        4, t=1, seed=0, epsilon=0.02, target_height=5, timeout=30.0,
+        load_requests=40, load_batch=8,
+    )
+    return bench_snapshot(config, run_live_inproc(config))
+
+
 def _load(path: str) -> dict:
     with open(path, encoding="utf-8") as handle:
         return json.load(handle)
@@ -370,6 +459,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--load-baseline", default=LOAD_BASELINE)
     parser.add_argument("--shard-baseline", default=SHARD_BASELINE)
     parser.add_argument("--hotpath-baseline", default=HOTPATH_BASELINE)
+    parser.add_argument("--live-baseline", default=LIVE_BASELINE)
     parser.add_argument("--crypto-fresh", default=None,
                         help="use this JSON instead of running the bench")
     parser.add_argument("--runner-fresh", default=None,
@@ -380,11 +470,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="use this JSON instead of running the bench")
     parser.add_argument("--hotpath-fresh", default=None,
                         help="use this JSON instead of running the bench")
+    parser.add_argument("--live-fresh", default=None,
+                        help="use this JSON instead of running the bench")
     parser.add_argument("--skip-crypto", action="store_true")
     parser.add_argument("--skip-runner", action="store_true")
     parser.add_argument("--skip-load", action="store_true")
     parser.add_argument("--skip-shard", action="store_true")
     parser.add_argument("--skip-hotpath", action="store_true")
+    parser.add_argument("--skip-live", action="store_true")
     parser.add_argument("--update", action="store_true",
                         help="rewrite committed snapshots from fresh results")
     args = parser.parse_args(argv)
@@ -458,6 +551,29 @@ def main(argv: list[str] | None = None) -> int:
             print(f"updated {args.hotpath_baseline}")
         else:
             failures += gate_hotpath(committed, fresh, args.tolerance)
+
+    if not args.skip_live:
+        committed = _load(args.live_baseline)
+        fresh = (
+            _load(args.live_fresh)
+            if args.live_fresh
+            else _run_fresh_live()
+        )
+        if args.update:
+            # The committed snapshot promises >= 20 heights; the quick
+            # probe targets fewer, so --update never overwrites it from
+            # a probe that would fail the floor.
+            if fresh.get("target_height", 0) >= 20:
+                _write(args.live_baseline, fresh)
+                print(f"updated {args.live_baseline}")
+            else:
+                print(
+                    f"not updating {args.live_baseline}: fresh run targets "
+                    f"{fresh.get('target_height')} heights (< 20); use "
+                    "`python -m repro live --bench`"
+                )
+        else:
+            failures += gate_live(committed, fresh, args.tolerance)
 
     if failures:
         print("bench gate FAILED:")

@@ -28,7 +28,9 @@ Checks every ``*.md`` file in the repo root and ``docs/``:
   ``register_backend(...)`` calls);
 * every ``shard.*`` metric and event kind additionally appears in
   ``docs/SHARDING.md`` (the sharding subsystem's own page must not
-  drift from the registries either).
+  drift from the registries either);
+* every ``live.*`` metric and event kind additionally appears in
+  ``docs/TRANSPORT.md``, the live transport's reference page.
 
 Exit status 0 when clean, 1 with one line per problem otherwise.  CI runs
 this plus the test-suite; ``tests/test_docs.py`` runs it in-process.
@@ -263,6 +265,29 @@ def check_backend_docs(problems: list[str]) -> None:
             )
 
 
+def check_live_docs(problems: list[str]) -> None:
+    """Every ``live.*`` metric and event kind must appear backticked in
+    TRANSPORT.md, the live transport's own reference page."""
+    live_names = [
+        name
+        for name in registered_metrics() + registered_event_kinds()
+        if name.startswith("live.")
+    ]
+    if not live_names:
+        return
+    doc = REPO / "docs" / "TRANSPORT.md"
+    if not doc.is_file():
+        problems.append("docs/TRANSPORT.md: missing (cannot check live.* docs)")
+        return
+    text = doc.read_text(encoding="utf-8")
+    for name in sorted(set(live_names)):
+        if f"`{name}`" not in text:
+            problems.append(
+                f"docs/TRANSPORT.md: live transport name {name!r} is "
+                f"undocumented (no `{name}` mention found)"
+            )
+
+
 def run() -> list[str]:
     problems: list[str] = []
     for path in doc_files():
@@ -273,6 +298,7 @@ def run() -> list[str]:
     check_metric_docs(problems)
     check_event_docs(problems)
     check_shard_docs(problems)
+    check_live_docs(problems)
     check_bench_docs(problems)
     check_backend_docs(problems)
     return problems
