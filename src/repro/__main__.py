@@ -30,7 +30,15 @@ Commands:
 * ``live``        — orchestrate an n-party localhost TCP cluster, drive
   client load through the batching pipeline, record wall-clock
   finalization (``--bench`` for the BENCH_live leg, ``--check`` for the
-  CI smoke leg) — see ``docs/TRANSPORT.md``;
+  CI smoke leg, ``--trace-dir DIR`` to trace every process and collect
+  the run) — see ``docs/TRANSPORT.md``;
+* ``collect``     — merge a live run's per-process traces/meters: align
+  the n monotonic clocks, pair send/recv wire spans, write the merged
+  trace + meter + alignment (``--report`` for the latency-breakdown
+  markdown, ``--check`` for CI) — see ``docs/OBSERVABILITY.md``;
+* ``top``         — poll a running live cluster's STAT endpoints and
+  render a per-party metrics table (height, pool depth, backlog,
+  reconnects, request percentiles) — see ``docs/OBSERVABILITY.md``;
 * ``versions``    — substrate self-check (group parameters, codec, sizes).
 """
 
@@ -196,6 +204,7 @@ def _cmd_report(args: argparse.Namespace) -> None:
         ("--quick", args.quick),
         ("--load", args.load),
         ("--html", args.html),
+        ("--live", args.live),
     ):
         if on:
             argv.append(flag)
@@ -320,6 +329,18 @@ def _cmd_live(args: argparse.Namespace) -> None:
     sys.exit(live_mod.live(args))
 
 
+def _cmd_collect(args: argparse.Namespace) -> None:
+    from repro.analysis.live import collect_main
+
+    sys.exit(collect_main(args))
+
+
+def _cmd_top(args: argparse.Namespace) -> None:
+    from repro.net.stat import top
+
+    sys.exit(top(args))
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -442,6 +463,11 @@ def main(argv: list[str] | None = None) -> None:
     )
     report.add_argument(
         "--html", action="store_true", help="write self-contained HTML"
+    )
+    report.add_argument(
+        "--live", action="store_true",
+        help="render the live-cluster latency breakdown from a collected "
+             "run directory (--trace-dir) instead of simulating",
     )
     report.set_defaults(func=_cmd_report)
 
@@ -593,7 +619,12 @@ def main(argv: list[str] | None = None) -> None:
     )
     serve.add_argument(
         "--trace", metavar="PATH", default=None,
-        help="export this party's trace events as JSONL",
+        help="export this party's trace events as JSONL (self-identifying "
+             "header: run_id + party index + schema version)",
+    )
+    serve.add_argument(
+        "--meter", metavar="PATH", default=None,
+        help="write this party's full meter snapshot as JSON",
     )
     serve.set_defaults(func=_cmd_serve)
 
@@ -632,11 +663,65 @@ def main(argv: list[str] | None = None) -> None:
     )
     live.add_argument(
         "--bench", action="store_true",
-        help="write the run's summary as the BENCH_live.json snapshot",
+        help="write the run's summary as the BENCH_live.json snapshot "
+             "(traces the run to compute the latency breakdown)",
     )
     live.add_argument("--json", metavar="PATH", default=None,
                       help="write the summary JSON here as well")
+    live.add_argument(
+        "--trace-dir", metavar="DIR", default=None,
+        help="trace every process into DIR and collect the run afterwards "
+             "(clock alignment + merged trace + latency breakdown)",
+    )
     live.set_defaults(func=_cmd_live)
+
+    collect = sub.add_parser(
+        "collect",
+        help="merge one live run's per-process traces: clock alignment, "
+             "causal wire spans, merged trace/meter — see "
+             "docs/OBSERVABILITY.md",
+    )
+    collect.add_argument(
+        "run_dir",
+        help="directory holding trace-*.jsonl / meter-*.json / "
+             "result-*.json from one `repro live --trace-dir` run",
+    )
+    collect.add_argument(
+        "--quorum", type=int, default=None, metavar="Q",
+        help="notarization quorum for the critical path (default: n−t "
+             "from the run's cluster.json)",
+    )
+    collect.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="also write the live latency-breakdown report (markdown)",
+    )
+    collect.add_argument(
+        "--check", action="store_true",
+        help="fail unless heights finalized and the per-height stage "
+             "spans telescope to the measured latency",
+    )
+    collect.set_defaults(func=_cmd_collect)
+
+    top = sub.add_parser(
+        "top",
+        help="poll a live cluster's STAT endpoints: per-party height, "
+             "pool depth, backlog, reconnects, request percentiles",
+    )
+    top.add_argument(
+        "--config", required=True, metavar="PATH",
+        help="the cluster config JSON the parties were launched with",
+    )
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between polls")
+    top.add_argument(
+        "--iterations", type=int, default=0, metavar="K",
+        help="stop after K polls (0 = until interrupted)",
+    )
+    top.add_argument("--timeout", type=float, default=2.0,
+                     help="per-peer connect+reply budget (seconds)")
+    top.add_argument("--json", action="store_true",
+                     help="also print each poll as one JSON line")
+    top.set_defaults(func=_cmd_top)
 
     versions = sub.add_parser("versions", help="substrate self-check")
     versions.set_defaults(func=_cmd_versions)

@@ -103,14 +103,23 @@ def _spans_from_boundaries(names, boundaries) -> tuple[Span, ...]:
     )
 
 
-def critical_paths(events, quorum: int | None = None) -> list[CriticalPath]:
+def critical_paths(
+    events,
+    quorum: int | None = None,
+    stages: tuple[str, str, str, str] = ICC_STAGES,
+) -> list[CriticalPath]:
     """Reconstruct the critical path of every finalized ICC height.
 
     ``quorum`` is the notarization quorum ``n - t``; when None it is
     inferred as the number of distinct parties that entered rounds (the
     fault-free ``n``, i.e. ``t = 0`` is assumed).  Rounds that never
-    finalized within the trace are skipped.
+    finalized within the trace are skipped.  ``stages`` renames the four
+    spans (the live mode labels the second stage ``wire_transit``, since
+    over real sockets that interval is wire transmission rather than
+    simulated gossip).
     """
+    if len(stages) != len(ICC_STAGES):
+        raise ValueError(f"expected {len(ICC_STAGES)} stage names, got {stages!r}")
     entered: dict[int, float] = {}
     finalized: dict[int, tuple[float, str | None]] = {}
     notarized: dict[int, float] = {}
@@ -166,7 +175,7 @@ def critical_paths(events, quorum: int | None = None) -> list[CriticalPath]:
         else:
             t_quorum = t_notarized
         spans = _spans_from_boundaries(
-            ICC_STAGES,
+            stages,
             (t_enter, t_propose, t_quorum, t_notarized, t_final),
         )
         paths.append(

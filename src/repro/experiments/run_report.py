@@ -432,6 +432,24 @@ def _load_meter(trace_dir: str) -> Meter | None:
     return Meter.read_json(path)
 
 
+def build_live_report(args) -> str:
+    """``--live``: render the latency breakdown of a collected live run.
+
+    The run directory (``--trace-dir``) is one ``repro live --trace-dir``
+    run; if ``repro collect`` has not been run on it yet, collection
+    happens here (alignment + merge are idempotent).
+    """
+    import pathlib
+
+    from ..analysis.live import _run_quorum, load_collected, render_live_report
+
+    if args.trace_dir is None:
+        raise SystemExit("--live requires --trace-dir (the live run directory)")
+    collected = load_collected(args.trace_dir)
+    quorum = _run_quorum(pathlib.Path(args.trace_dir))
+    return render_live_report(collected, quorum=quorum)
+
+
 def build_report(args) -> str:
     """Run (or load) the suite and return the rendered Markdown."""
     base = dict(_QUICK) if args.quick else dict(_DEFAULT)
@@ -515,9 +533,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="render from an existing --trace-dir, no runs")
     parser.add_argument("--html", action="store_true",
                         help="write a self-contained HTML page instead")
+    parser.add_argument("--live", action="store_true",
+                        help="render a collected live run (--trace-dir) "
+                             "instead of simulating")
     args = parser.parse_args(argv)
 
-    markdown = build_report(args)
+    markdown = build_live_report(args) if args.live else build_report(args)
     content = to_html(markdown) if args.html else markdown
     with open(args.output, "w") as fh:
         fh.write(content)

@@ -34,25 +34,39 @@ from .party import LiveParty
 class LiveCluster:
     """All parties of one live config, co-hosted on the current loop."""
 
-    def __init__(self, config: LiveConfig, *, tracer=None, meter=None) -> None:
+    def __init__(
+        self, config: LiveConfig, *, tracer=None, meter=None, per_party=None
+    ) -> None:
+        """``tracer``/``meter`` are shared by every party (handy for an
+        embedded view of aggregate activity); ``per_party`` instead maps
+        an index (1..n) to a ``(tracer, meter)`` pair, giving each party
+        its own private timeline exactly as separate processes would —
+        what distributed-trace collection needs.  ``per_party`` wins when
+        both are given."""
         self.config = config
         self._tracer = tracer
         self._meter = meter
+        self._per_party = per_party
         self.parties: list[LiveParty] = []
         self._started = False
 
     # -- lifecycle ------------------------------------------------------------
 
+    def _observability(self, index: int) -> tuple:
+        if self._per_party is not None:
+            return self._per_party(index)
+        return self._tracer, self._meter
+
     async def start(self) -> None:
         if self._started:
             raise RuntimeError("cluster already started")
         loop = asyncio.get_running_loop()
-        self.parties = [
-            LiveParty(
-                self.config, i, loop=loop, tracer=self._tracer, meter=self._meter
+        self.parties = []
+        for i in range(1, self.config.n + 1):
+            tracer, meter = self._observability(i)
+            self.parties.append(
+                LiveParty(self.config, i, loop=loop, tracer=tracer, meter=meter)
             )
-            for i in range(1, self.config.n + 1)
-        ]
         for live in self.parties:
             await live.start()
         self._started = True

@@ -91,6 +91,15 @@ class LiveConfig:
     load_tick: float = 0.05
     #: Client-auth scheme for the load requests ("fast" or "real").
     client_auth: str = "fast"
+    #: Unique identifier for one cluster *run* — stamped into every trace
+    #: export and result file so the collector can refuse to merge files
+    #: from different runs.  The ``repro live`` orchestrator generates
+    #: one; an empty value falls back to ``"<cluster_id>:<seed>"``.
+    run_id: str = ""
+
+    def effective_run_id(self) -> str:
+        """The run id traces are stamped with (never empty)."""
+        return self.run_id or f"{self.cluster_id}:{self.seed}"
 
     def __post_init__(self) -> None:
         if self.n < 1:

@@ -8,11 +8,18 @@ layout table and the rationale):
     frame := length (4 bytes, big-endian, = len(body)) || body
     body  := type (1 byte) || payload
 
-    type 0x01  HELLO  payload = sender index (4 bytes, big-endian)
-                                || cluster id (UTF-8, rest of frame)
-    type 0x02  MSG    payload = link sequence number (8 bytes, big-endian)
-                                || one pickled protocol message
-    type 0x03  ACK    payload = cumulative sequence number (8 bytes)
+    type 0x01  HELLO       payload = sender index (4 bytes, big-endian)
+                                     || sender send-time (8 bytes, ns)
+                                     || cluster id (UTF-8, rest of frame)
+    type 0x02  MSG         payload = link sequence number (8 bytes, big-endian)
+                                     || sender send-time (8 bytes, ns)
+                                     || one pickled protocol message
+    type 0x03  ACK         payload = cumulative sequence number (8 bytes)
+                                     || echo of peer send-time (8 bytes, ns)
+                                     || our receive-time (8 bytes, ns)
+                                     || our ACK send-time (8 bytes, ns)
+    type 0x04  STAT        payload = empty (the 1-byte type is the body)
+    type 0x05  STAT_REPLY  payload = one JSON object (UTF-8)
 
 A connection opens with exactly one HELLO (so the acceptor knows which
 party is talking and that it belongs to the same cluster), then carries
@@ -22,13 +29,25 @@ body longer than ``max_frame``, a zero-length body, a payload that fails
 to decode — is a :class:`FrameError`; the transport closes the
 connection and counts ``live.frames.rejected``.
 
+Timestamps are party-local monotonic nanoseconds (``WallClock.now`` in
+ns), the same timeline trace events use.  Each ACK echoes the newest
+peer send-time it saw alongside its local receive/send times, giving the
+sender a full NTP-style four-timestamp sample ``(t1, t2, t3, t4)`` per
+ACK at zero extra round trips; :mod:`repro.obs.distributed` turns these
+into cross-process clock alignment.  A STAT frame may be sent *instead
+of* a HELLO by a monitoring client (``python -m repro top``); the
+acceptor answers with one STAT_REPLY carrying a JSON snapshot of the
+process's meters and state.
+
 MSG sequence numbers are per *directed peer link* (they survive
 reconnects) and make delivery reliable without trusting TCP's write
 buffer: a ``drain()`` that succeeds just before the peer dies proves
 nothing, so the sender retains every frame until the receiver's
 cumulative ACK covers it and retransmits the tail on reconnect.  The
 receiver deduplicates by sequence number, so each protocol message is
-handed to the party exactly once per link.
+handed to the party exactly once per link.  (A retransmitted MSG carries
+its original send-time; the resulting stale clock samples are discarded
+by the collector's minimum-RTT filter.)
 
 Message payloads are encoded with :mod:`pickle`.  That is an explicit
 trust statement, not an oversight: every signature object in
@@ -45,6 +64,7 @@ cryptographic verification exactly as in the simulator.
 
 from __future__ import annotations
 
+import json
 import pickle
 
 #: Frame body length cap (bytes).  The paper's "a block's payload may
@@ -57,7 +77,10 @@ _LEN_SIZE = 4
 _TYPE_HELLO = 0x01
 _TYPE_MSG = 0x02
 _TYPE_ACK = 0x03
+_TYPE_STAT = 0x04
+_TYPE_STAT_REPLY = 0x05
 _SEQ_SIZE = 8
+_TS_SIZE = 8
 
 
 class FrameError(ValueError):
@@ -79,65 +102,147 @@ def encode_frame(body: bytes, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
     return len(body).to_bytes(_LEN_SIZE, "big") + body
 
 
-def hello_frame(index: int, cluster_id: str, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
-    """The handshake frame a connector sends first."""
+def _ts_bytes(ts_ns: int) -> bytes:
+    """Encode a local-monotonic-ns timestamp (clamped to be encodable)."""
+    return max(0, int(ts_ns)).to_bytes(_TS_SIZE, "big")
+
+
+def hello_frame(
+    index: int,
+    cluster_id: str,
+    max_frame: int = DEFAULT_MAX_FRAME,
+    *,
+    ts_ns: int = 0,
+) -> bytes:
+    """The handshake frame a connector sends first (``ts_ns`` is the
+    sender's local send-time, the ``t1`` of the first clock sample)."""
     if index < 1:
         raise FrameError(f"party index {index} is not positive")
-    body = bytes([_TYPE_HELLO]) + index.to_bytes(4, "big") + cluster_id.encode("utf-8")
+    body = (
+        bytes([_TYPE_HELLO])
+        + index.to_bytes(4, "big")
+        + _ts_bytes(ts_ns)
+        + cluster_id.encode("utf-8")
+    )
     return encode_frame(body, max_frame)
 
 
 def message_frame(
-    seq: int, message: object, max_frame: int = DEFAULT_MAX_FRAME
+    seq: int,
+    message: object,
+    max_frame: int = DEFAULT_MAX_FRAME,
+    *,
+    ts_ns: int = 0,
 ) -> bytes:
-    """Encode one protocol message as a MSG frame with link sequence ``seq``."""
+    """Encode one protocol message as a MSG frame with link sequence
+    ``seq`` and sender send-time ``ts_ns``."""
     if seq < 1:
         raise FrameError(f"MSG sequence numbers start at 1, got {seq}")
     body = (
         bytes([_TYPE_MSG])
         + seq.to_bytes(_SEQ_SIZE, "big")
+        + _ts_bytes(ts_ns)
         + pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
     )
     return encode_frame(body, max_frame)
 
 
-def ack_frame(seq: int, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
-    """Cumulative acknowledgement: every MSG up to ``seq`` was delivered."""
+def ack_frame(
+    seq: int,
+    max_frame: int = DEFAULT_MAX_FRAME,
+    *,
+    echo_ns: int = 0,
+    recv_ns: int = 0,
+    send_ns: int = 0,
+) -> bytes:
+    """Cumulative acknowledgement: every MSG up to ``seq`` was delivered.
+
+    ``echo_ns`` echoes the newest peer send-time this side saw (``t1``),
+    ``recv_ns`` is when it arrived here (``t2``), ``send_ns`` is when
+    this ACK left (``t3``) — the receiver supplies its own ``t4``.
+    """
     if seq < 0:
         raise FrameError(f"ACK sequence must be >= 0, got {seq}")
-    return encode_frame(bytes([_TYPE_ACK]) + seq.to_bytes(_SEQ_SIZE, "big"), max_frame)
+    body = (
+        bytes([_TYPE_ACK])
+        + seq.to_bytes(_SEQ_SIZE, "big")
+        + _ts_bytes(echo_ns)
+        + _ts_bytes(recv_ns)
+        + _ts_bytes(send_ns)
+    )
+    return encode_frame(body, max_frame)
+
+
+def stat_frame(max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """A metrics-snapshot request (sent instead of HELLO by monitors)."""
+    return encode_frame(bytes([_TYPE_STAT]), max_frame)
+
+
+def stat_reply_frame(snapshot: dict, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """The JSON answer to a STAT frame."""
+    body = bytes([_TYPE_STAT_REPLY]) + json.dumps(
+        snapshot, sort_keys=True
+    ).encode("utf-8")
+    return encode_frame(body, max_frame)
 
 
 def decode_payload(body: bytes) -> tuple[str, object]:
-    """Decode one frame body into ``("hello", (index, cluster_id))``,
-    ``("msg", (seq, message))`` or ``("ack", seq)``; raises
-    :class:`FrameError` on malformed input."""
+    """Decode one frame body into ``("hello", (index, cluster_id, ts_ns))``,
+    ``("msg", (seq, ts_ns, message))``, ``("ack", (seq, echo_ns, recv_ns,
+    send_ns))``, ``("stat", None)`` or ``("stat_reply", snapshot)``;
+    raises :class:`FrameError` on malformed input."""
     if not body:
         raise FrameError("empty frame body")
     frame_type = body[0]
     if frame_type == _TYPE_HELLO:
-        if len(body) < 5:
+        if len(body) < 1 + 4 + _TS_SIZE:
             raise FrameError("truncated HELLO frame")
         index = int.from_bytes(body[1:5], "big")
+        ts_ns = int.from_bytes(body[5 : 5 + _TS_SIZE], "big")
         try:
-            cluster_id = body[5:].decode("utf-8")
+            cluster_id = body[5 + _TS_SIZE :].decode("utf-8")
         except UnicodeDecodeError as exc:
             raise FrameError(f"HELLO cluster id is not UTF-8: {exc}") from exc
         if index < 1:
             raise FrameError(f"HELLO carries invalid party index {index}")
-        return "hello", (index, cluster_id)
+        return "hello", (index, cluster_id, ts_ns)
     if frame_type == _TYPE_MSG:
-        if len(body) < 1 + _SEQ_SIZE + 1:
+        if len(body) < 1 + _SEQ_SIZE + _TS_SIZE + 1:
             raise FrameError("truncated MSG frame")
         seq = int.from_bytes(body[1 : 1 + _SEQ_SIZE], "big")
+        ts_ns = int.from_bytes(body[1 + _SEQ_SIZE : 1 + _SEQ_SIZE + _TS_SIZE], "big")
         try:
-            return "msg", (seq, pickle.loads(body[1 + _SEQ_SIZE :]))
+            return "msg", (
+                seq,
+                ts_ns,
+                pickle.loads(body[1 + _SEQ_SIZE + _TS_SIZE :]),
+            )
         except Exception as exc:  # pickle raises a zoo of types
             raise FrameError(f"undecodable MSG payload: {exc}") from exc
     if frame_type == _TYPE_ACK:
-        if len(body) != 1 + _SEQ_SIZE:
+        if len(body) != 1 + _SEQ_SIZE + 3 * _TS_SIZE:
             raise FrameError("malformed ACK frame")
-        return "ack", int.from_bytes(body[1:], "big")
+        seq = int.from_bytes(body[1 : 1 + _SEQ_SIZE], "big")
+        stamps = tuple(
+            int.from_bytes(
+                body[1 + _SEQ_SIZE + i * _TS_SIZE : 1 + _SEQ_SIZE + (i + 1) * _TS_SIZE],
+                "big",
+            )
+            for i in range(3)
+        )
+        return "ack", (seq, *stamps)
+    if frame_type == _TYPE_STAT:
+        if len(body) != 1:
+            raise FrameError("malformed STAT frame")
+        return "stat", None
+    if frame_type == _TYPE_STAT_REPLY:
+        try:
+            snapshot = json.loads(body[1:].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FrameError(f"undecodable STAT_REPLY payload: {exc}") from exc
+        if not isinstance(snapshot, dict):
+            raise FrameError("STAT_REPLY payload is not a JSON object")
+        return "stat_reply", snapshot
     raise FrameError(f"unknown frame type 0x{frame_type:02x}")
 
 

@@ -2,30 +2,55 @@
 
 ``serve`` is the party binary: load the shared cluster config, become
 party ``--index``, run until the target height (or timeout / SIGTERM),
-then write a JSON result record.  ``live`` is the orchestrator: allocate
-ports, write the config, spawn one ``serve`` process per party, collect
-the per-party records, check the paper's prefix property across them,
-and report wall-clock finalization results — optionally as the
-``BENCH_live.json`` leg that :mod:`tools.bench_gate` gates.
+then write a JSON result record — plus, when asked, a self-identifying
+trace JSONL (``--trace``) and a meter snapshot (``--meter``).  ``live``
+is the orchestrator: allocate ports, write the config, spawn one
+``serve`` process per party, collect the per-party records, check the
+paper's prefix property across them, and report wall-clock finalization
+results — optionally as the ``BENCH_live.json`` leg that
+:mod:`tools.bench_gate` gates.
+
+With ``--trace-dir D`` (or ``--bench``/``--json``, which imply tracing)
+every process traces into the run directory and the orchestrator
+automatically **collects** the run afterwards
+(:func:`repro.obs.collect_run`): clocks aligned, traces merged, meters
+merged, and the live critical-path latency breakdown computed and
+embedded in the summary.  ``python -m repro collect D`` re-runs that
+step standalone.
 
 The quick in-process mode (``--inproc``, implied by ``--check``) runs
 the same protocol/transport stack on one event loop via
 :class:`~repro.net.cluster.LiveCluster` — fast enough for CI smoke runs
 and for :func:`run_live_inproc`, which ``tools/bench_gate.py --live-fresh``
-calls to re-measure the committed snapshot.
+calls to re-measure the committed snapshot.  Even in-process, each party
+gets its *own* tracer and meter (its own timeline), so collection works
+identically in both modes.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import dataclasses
+import glob
 import json
 import os
 import signal
 import subprocess
 import sys
 import tempfile
+import time
 
-from ..obs import Meter, Tracer, write_jsonl
+from ..analysis.live import consistency_line, live_latency_breakdown
+from ..obs import (
+    Meter,
+    Tracer,
+    align_events,
+    collect_run,
+    estimate_alignment,
+    trace_header,
+    write_jsonl,
+)
 from .cluster import LiveCluster
 from .config import LiveConfig, load_live_config, local_live_config
 from .party import LiveParty
@@ -77,7 +102,19 @@ def serve(args) -> int:
                      "live.frames.rejected", "net.messages")
     }
     if args.trace:
-        write_jsonl(tracer.export_events(), args.trace)
+        # The header makes the export self-identifying: the collector
+        # refuses headerless traces and mixed run_ids.
+        write_jsonl(
+            tracer.export_events(),
+            args.trace,
+            header=trace_header(
+                run_id=config.effective_run_id(),
+                party=args.index,
+                cluster_id=config.cluster_id,
+            ),
+        )
+    if getattr(args, "meter", None):
+        meter.write_json(args.meter)
     payload = json.dumps(result, indent=1, sort_keys=True)
     if args.result:
         with open(args.result, "w", encoding="utf-8") as fh:
@@ -104,7 +141,9 @@ def _prefix_consistent(chains: list[list[str]]) -> bool:
     return all(chain == reference[: len(chain)] for chain in chains)
 
 
-def summarize(config: LiveConfig, results: list[dict]) -> dict:
+def summarize(
+    config: LiveConfig, results: list[dict], breakdown: dict | None = None
+) -> dict:
     """Aggregate per-party serve records into the BENCH_live ``live`` block."""
     heights = [r["height"] for r in results]
     min_height = min(heights, default=0)
@@ -114,7 +153,7 @@ def summarize(config: LiveConfig, results: list[dict]) -> dict:
     )
     wall = max((r["wall_seconds"] for r in results), default=0.0)
     latencies = results[0].get("request_latencies", []) if results else []
-    return {
+    block = {
         "live_ok": live_ok,
         "safety_ok": safety_ok,
         "parties_reporting": len(results),
@@ -126,6 +165,9 @@ def summarize(config: LiveConfig, results: list[dict]) -> dict:
         "request_latency_p50": round(_percentile(latencies, 0.50), 4),
         "request_latency_p90": round(_percentile(latencies, 0.90), 4),
     }
+    if breakdown is not None:
+        block["latency_breakdown"] = breakdown
+    return block
 
 
 def bench_snapshot(config: LiveConfig, live_block: dict) -> dict:
@@ -147,8 +189,25 @@ def bench_snapshot(config: LiveConfig, live_block: dict) -> dict:
     }
 
 
-async def _run_inproc(config: LiveConfig) -> list[dict]:
-    async with LiveCluster(config) as cluster:
+def _fresh_run_id(config: LiveConfig) -> str:
+    """A run id unique enough to catch accidental cross-run merges."""
+    return f"{config.cluster_id}-{config.seed}-{os.getpid()}-{int(time.time() * 1000)}"
+
+
+async def _run_inproc(
+    config: LiveConfig, observe: bool = False
+) -> tuple[list[dict], dict[int, Tracer], dict[int, Meter]]:
+    """One in-process run; with ``observe`` each party gets its own
+    tracer/meter (its own timeline), mirroring separate processes."""
+    tracers: dict[int, Tracer] = {}
+    meters: dict[int, Meter] = {}
+    per_party = None
+    if observe:
+        for i in range(1, config.n + 1):
+            tracers[i] = Tracer()
+            meters[i] = Meter()
+        per_party = lambda i: (tracers[i], meters[i])  # noqa: E731
+    async with LiveCluster(config, per_party=per_party) as cluster:
         reached = await cluster.wait_for_height(
             config.target_height, config.timeout
         )
@@ -163,16 +222,59 @@ async def _run_inproc(config: LiveConfig) -> list[dict]:
         except AssertionError:
             for record in results:
                 record["committed"] = record["committed"] or ["<diverged>"]
-        return results
+        return results, tracers, meters
+
+
+def _breakdown_from_tracers(
+    config: LiveConfig, tracers: dict[int, Tracer]
+) -> dict:
+    """Align the per-party in-memory traces and compute the breakdown."""
+    events_by_party = {i: t.export_events() for i, t in tracers.items()}
+    alignment = estimate_alignment(events_by_party)
+    return live_latency_breakdown(
+        align_events(events_by_party, alignment),
+        quorum=config.n - config.t,
+        clock_uncertainty=alignment.max_uncertainty,
+    )
 
 
 def run_live_inproc(config: LiveConfig) -> dict:
-    """One in-process live run, summarized (the bench-gate fresh probe)."""
-    results = asyncio.run(_run_inproc(config))
-    return summarize(config, results)
+    """One in-process live run, summarized with its latency breakdown
+    (the bench-gate fresh probe)."""
+    results, tracers, _meters = asyncio.run(_run_inproc(config, observe=True))
+    return summarize(config, results, _breakdown_from_tracers(config, tracers))
 
 
-def _spawn_cluster(config: LiveConfig, workdir: str) -> list[dict]:
+def _write_inproc_run(
+    config: LiveConfig,
+    workdir: str,
+    results: list[dict],
+    tracers: dict[int, Tracer],
+    meters: dict[int, Meter],
+) -> None:
+    """Persist an observed in-process run in the exact per-process layout
+    ``repro collect`` expects."""
+    config.save(os.path.join(workdir, "cluster.json"))
+    run_id = config.effective_run_id()
+    for i in range(1, config.n + 1):
+        write_jsonl(
+            tracers[i].export_events(),
+            os.path.join(workdir, f"trace-{i}.jsonl"),
+            header=trace_header(
+                run_id=run_id, party=i, cluster_id=config.cluster_id
+            ),
+        )
+        meters[i].write_json(os.path.join(workdir, f"meter-{i}.json"))
+    for record in results:
+        path = os.path.join(workdir, f"result-{record['index']}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+
+
+def _spawn_cluster(
+    config: LiveConfig, workdir: str, trace: bool = False
+) -> list[dict]:
     """One serve process per party; returns the collected result records."""
     config_path = os.path.join(workdir, "cluster.json")
     config.save(config_path)
@@ -181,14 +283,20 @@ def _spawn_cluster(config: LiveConfig, workdir: str) -> list[dict]:
     for i in range(1, config.n + 1):
         result_path = os.path.join(workdir, f"result-{i}.json")
         result_paths.append(result_path)
+        argv = [
+            sys.executable, "-m", "repro", "serve",
+            "--config", config_path,
+            "--index", str(i),
+            "--result", result_path,
+        ]
+        if trace:
+            argv += [
+                "--trace", os.path.join(workdir, f"trace-{i}.jsonl"),
+                "--meter", os.path.join(workdir, f"meter-{i}.json"),
+            ]
         procs.append(
             subprocess.Popen(
-                [
-                    sys.executable, "-m", "repro", "serve",
-                    "--config", config_path,
-                    "--index", str(i),
-                    "--result", result_path,
-                ],
+                argv,
                 stdout=subprocess.DEVNULL,
                 stderr=subprocess.STDOUT,
             )
@@ -216,6 +324,36 @@ def _spawn_cluster(config: LiveConfig, workdir: str) -> list[dict]:
     return results
 
 
+def _clear_run_artifacts(workdir: str) -> None:
+    """Remove a previous run's per-process/merged artifacts so a reused
+    ``--trace-dir`` cannot mix two runs (the collector would refuse)."""
+    patterns = (
+        "trace-*.jsonl", "meter-*.json", "result-*.json",
+        "merged-trace.jsonl", "merged-meter.json", "alignment.json",
+    )
+    for pattern in patterns:
+        for path in glob.glob(os.path.join(workdir, pattern)):
+            os.unlink(path)
+
+
+def _collect_breakdown(config: LiveConfig, workdir: str) -> dict | None:
+    """Collect the run directory; returns the latency breakdown (None if
+    collection failed, e.g. a party died before writing its trace)."""
+    try:
+        collected = collect_run(workdir)
+    except Exception as exc:
+        print(f"  collect     : FAILED ({exc})")
+        return None
+    breakdown = live_latency_breakdown(
+        collected.events,
+        quorum=config.n - config.t,
+        clock_uncertainty=collected.alignment.max_uncertainty,
+    )
+    print(f"  collected   : {collected.merged_trace_path}")
+    print(f"  {consistency_line(breakdown)}")
+    return breakdown
+
+
 def _print_summary(config: LiveConfig, live_block: dict) -> None:
     print(
         f"live cluster: n={config.n} t={config.t} protocol={config.protocol} "
@@ -237,6 +375,19 @@ def _print_summary(config: LiveConfig, live_block: dict) -> None:
             f"latency p50 {live_block['request_latency_p50'] * 1000:.0f} ms / "
             f"p90 {live_block['request_latency_p90'] * 1000:.0f} ms"
         )
+    breakdown = live_block.get("latency_breakdown")
+    if breakdown and breakdown.get("heights"):
+        stages = breakdown.get("stage_means_s", {})
+        rendered = " + ".join(
+            f"{stage.split('_')[0]} {stages.get(stage, 0.0) * 1000:.0f}ms"
+            for stage in sorted(stages)
+        )
+        print(
+            f"  breakdown   : {breakdown['heights']} heights, mean "
+            f"{breakdown['finalization_latency_mean_s'] * 1000:.0f} ms "
+            f"finalization (clock uncertainty "
+            f"±{breakdown['clock_uncertainty_s'] * 1e6:.0f} µs; {rendered})"
+        )
 
 
 def live(args) -> int:
@@ -247,6 +398,7 @@ def live(args) -> int:
             epsilon=0.02, target_height=5, timeout=30.0,
             load_requests=40, load_batch=8,
         )
+        config = dataclasses.replace(config, run_id=_fresh_run_id(config))
         live_block = run_live_inproc(config)
         _print_summary(config, live_block)
         return 0 if live_block["live_ok"] and live_block["safety_ok"] else 1
@@ -262,12 +414,32 @@ def live(args) -> int:
         load_requests=args.load,
         load_batch=16,
     )
-    if args.inproc:
-        results = asyncio.run(_run_inproc(config))
+    config = dataclasses.replace(config, run_id=_fresh_run_id(config))
+    trace_dir = getattr(args, "trace_dir", None)
+    # --bench / --json publish a latency breakdown, which needs traces;
+    # without an explicit --trace-dir they trace into a temp dir.
+    want_trace = bool(trace_dir or args.bench or args.json)
+    breakdown: dict | None = None
+    if trace_dir:
+        os.makedirs(trace_dir, exist_ok=True)
+        _clear_run_artifacts(trace_dir)
+        workdir_ctx: contextlib.AbstractContextManager[str] = (
+            contextlib.nullcontext(trace_dir)
+        )
     else:
-        with tempfile.TemporaryDirectory(prefix="repro-live-") as workdir:
-            results = _spawn_cluster(config, workdir)
-    live_block = summarize(config, results)
+        workdir_ctx = tempfile.TemporaryDirectory(prefix="repro-live-")
+    with workdir_ctx as workdir:
+        if args.inproc:
+            results, tracers, meters = asyncio.run(
+                _run_inproc(config, observe=want_trace)
+            )
+            if want_trace:
+                _write_inproc_run(config, workdir, results, tracers, meters)
+        else:
+            results = _spawn_cluster(config, workdir, trace=want_trace)
+        if want_trace:
+            breakdown = _collect_breakdown(config, workdir)
+    live_block = summarize(config, results, breakdown)
     _print_summary(config, live_block)
     snapshot = bench_snapshot(config, live_block)
     if args.json:

@@ -160,6 +160,9 @@ class LiveParty:
         self.party.commit_listeners.append(lambda _block: self._height_event.set())
         self._started = False
         self._load_handle: asyncio.TimerHandle | None = None
+        self.run_id = config.effective_run_id()
+        # Answer STAT frames with this party's live snapshot (repro top).
+        self.network.stats_provider = self.stat_snapshot
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -214,11 +217,64 @@ class LiveParty:
 
     # -- results --------------------------------------------------------------
 
+    def _pool_depth(self) -> int:
+        """Artifacts currently buffered in the message pool (non-mutating
+        — unlike ``MessagePool.artifact_count`` this must not flush
+        pending batches from a monitoring probe)."""
+        pool = self.party.pool
+        return (
+            len(pool.blocks)
+            + len(pool._authenticators)
+            + len(pool._notarizations)
+            + len(pool._finalizations)
+            + sum(len(v) for v in pool._notar_shares.values())
+            + sum(len(v) for v in pool._final_shares.values())
+            + sum(len(v) for v in pool._beacon_shares.values())
+        )
+
+    def stat_snapshot(self) -> dict:
+        """The JSON answer to a STAT frame: this party right now.
+
+        Everything ``repro top`` renders comes from here; it must stay
+        cheap and side-effect-free (it runs inside the acceptor loop).
+        """
+        latencies = sorted(self.batcher.latencies) if self.batcher else []
+
+        def pct(q: float) -> float:
+            return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+        return {
+            "index": self.index,
+            "run_id": self.run_id,
+            "cluster_id": self.config.cluster_id,
+            "height": self.party.k_max,
+            "pool_depth": self._pool_depth(),
+            "link_backlog": sum(
+                link.queued for link in self.network._links.values()
+            ),
+            "connects": self.network.connects_total,
+            "reconnects": self.network.reconnects_total,
+            "dup_connections": self.network.meter.counter_value(
+                "live.dup_connections"
+            )
+            if self.network.meter.enabled
+            else 0,
+            "frames_rejected": self.network.frames_rejected,
+            "requests_completed": self.batcher.completed if self.batcher else 0,
+            "request_p50_s": pct(0.50) if latencies else None,
+            "request_p99_s": pct(0.99) if latencies else None,
+            "net_messages": sum(self.network.metrics.msgs_sent.values()),
+            "net_bytes": sum(self.network.metrics.bytes_sent.values()),
+            "wall_seconds": round(self.clock.now, 6),
+            "clock_sync": self.network.clock_sync.summary(),
+        }
+
     def result(self) -> dict:
         """The JSON-able record ``repro serve`` reports when it exits."""
         latencies = sorted(self.batcher.latencies) if self.batcher else []
         return {
             "index": self.index,
+            "run_id": self.run_id,
             "height": self.party.k_max,
             "committed": [h.hex() for h in self.party.committed_hashes],
             "wall_seconds": round(self.clock.now, 6),

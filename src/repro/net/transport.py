@@ -54,6 +54,7 @@ from .framing import (
     decode_payload,
     hello_frame,
     message_frame,
+    stat_reply_frame,
 )
 
 #: Reconnect backoff defaults (seconds): first retry after ``BACKOFF_BASE``,
@@ -67,6 +68,41 @@ class SimulatorOnlyFeature(RuntimeError):
     live transport.  See docs/FAULTS.md — fault scenarios drive *virtual*
     delivery; over real sockets use OS-level tooling (kill the process,
     drop packets with tc/iptables) instead."""
+
+
+class ClockSync:
+    """Per-peer NTP-style sample aggregator for the timestamped ACK path.
+
+    Every ACK carries ``(t1=echoed peer send-time, t2=peer receive-time,
+    t3=peer ACK send-time)`` and arrives at local ``t4``; this records the
+    instantaneous offset ``theta = ((t2-t1)+(t3-t4))/2`` (peer clock minus
+    ours, seconds) and keeps the minimum-RTT sample per peer — the one
+    whose offset estimate is tightest (error is bounded by ``rtt/2``).
+    The collector (:mod:`repro.obs.distributed`) does the real alignment
+    offline from ``live.clock.sample`` trace events; this summary feeds
+    the STAT endpoint.
+    """
+
+    def __init__(self) -> None:
+        self.samples: dict[int, int] = {}
+        self.best: dict[int, tuple[float, float]] = {}  # peer -> (theta, rtt)
+
+    def add(self, peer: int, theta: float, rtt: float) -> None:
+        self.samples[peer] = self.samples.get(peer, 0) + 1
+        current = self.best.get(peer)
+        if current is None or rtt < current[1]:
+            self.best[peer] = (theta, rtt)
+
+    def summary(self) -> dict:
+        """JSON-safe per-peer summary: best offset estimate + bound."""
+        return {
+            str(peer): {
+                "theta_s": self.best[peer][0],
+                "uncertainty_s": self.best[peer][1] / 2.0,
+                "samples": self.samples[peer],
+            }
+            for peer in sorted(self.best)
+        }
 
 
 class _PeerLink:
@@ -94,8 +130,26 @@ class _PeerLink:
     def enqueue(self, message: object) -> None:
         seq = self.next_seq
         self.next_seq += 1
-        frame = message_frame(seq, message, self.net.max_frame)
+        frame = message_frame(
+            seq, message, self.net.max_frame, ts_ns=self.net.now_ns()
+        )
         self.unacked.append((seq, frame))
+        tracer = self.net.tracer
+        if tracer.enabled:
+            # One half of the causal wire span; the receiver's
+            # net.wire.recv with the same (src=us, dst=peer, seq) key
+            # closes it.  (Retransmits reuse the frame, so the span
+            # measures first-send to first-delivery.)
+            tracer.emit(
+                time=self.net.clock.now, party=self.net.index, protocol="net",
+                round=None, kind="net.wire.send",
+                payload={
+                    "dst": self.peer,
+                    "seq": seq,
+                    "kind": message_kind(message),
+                    "bytes": len(frame),
+                },
+            )
         self.wakeup.set()
 
     @property
@@ -122,7 +176,12 @@ class _PeerLink:
             self.connects += 1
             self.net._on_peer_connect(self.peer, "out", reconnect=self.connects > 1)
             try:
-                writer.write(hello_frame(self.net.index, self.net.cluster_id, self.net.max_frame))
+                writer.write(
+                    hello_frame(
+                        self.net.index, self.net.cluster_id, self.net.max_frame,
+                        ts_ns=self.net.now_ns(),
+                    )
+                )
                 await writer.drain()
                 await self._converse(reader, writer)
             except (ConnectionError, OSError):
@@ -184,7 +243,12 @@ class _PeerLink:
                     raise FrameError(
                         f"expected ACK on the outbound connection, got {kind}"
                     )
-                self._on_ack(payload)
+                seq, echo_ns, recv_ns, send_ns = payload  # type: ignore[misc]
+                self._on_ack(seq)
+                if echo_ns and recv_ns:
+                    self.net._record_clock_sample(
+                        self.peer, echo_ns, recv_ns, send_ns, self.net.now_ns()
+                    )
 
     def _on_ack(self, seq: int) -> None:
         if seq > self.acked:
@@ -253,6 +317,17 @@ class TcpNetwork:
         #: connections — it is what makes retransmission exactly-once.
         self._delivered_seq: dict[int, int] = {}
         self.frames_rejected = 0
+        #: Plain connection counters (mirroring the ``live.connects`` /
+        #: ``live.reconnects`` meters but always on — the STAT endpoint
+        #: reports them even when no Meter is installed).
+        self.connects_total = 0
+        self.reconnects_total = 0
+        #: NTP-style per-peer offset samples from timestamped ACKs.
+        self.clock_sync = ClockSync()
+        #: When set, STAT frames are answered with this callable's dict
+        #: (``LiveParty`` installs its snapshot builder here); otherwise a
+        #: minimal transport-level snapshot is returned.
+        self.stats_provider = None
 
     # -- observability (same resolution rule as the simulator Network) ------
 
@@ -267,6 +342,12 @@ class TcpNetwork:
     @property
     def rng(self):
         return self.clock.rng
+
+    def now_ns(self) -> int:
+        """The local monotonic timeline in nanoseconds — the same clock
+        trace events are stamped with, so wire timestamps and trace times
+        are directly comparable."""
+        return int(self.clock.now * 1e9)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -425,6 +506,11 @@ class TcpNetwork:
             task.add_done_callback(self._accept_tasks.discard)
         peer_index: int | None = None
         decoder = FrameDecoder(self.max_frame)
+        # Newest peer send-time seen on this connection and its local
+        # arrival time: echoed back in every ACK so the peer gets a full
+        # four-timestamp clock sample per ACK.
+        ping_echo_ns = 0
+        ping_recv_ns = 0
         try:
             while not self._closing:
                 try:
@@ -433,19 +519,54 @@ class TcpNetwork:
                     break
                 if not data:
                     break  # EOF
+                arrival_ns = self.now_ns()
                 try:
                     bodies = decoder.feed(data)
-                    delivered_any = False
+                    ack_due = False
                     for body in bodies:
                         kind, payload = decode_payload(body)
-                        if peer_index is None:
+                        if kind == "stat":
+                            # Monitoring probe (repro top): answer with a
+                            # snapshot; no HELLO required, and the
+                            # connection stays a plain query channel.
+                            try:
+                                writer.write(
+                                    stat_reply_frame(
+                                        self._stat_payload(), self.max_frame
+                                    )
+                                )
+                                await writer.drain()
+                            except (ConnectionError, OSError):
+                                break
+                        elif peer_index is None:
                             peer_index = self._handshake(kind, payload, writer)
+                            ping_echo_ns = payload[2]  # type: ignore[index]
+                            ping_recv_ns = arrival_ns
+                            # ACK immediately: carries no new cumulative
+                            # progress but gives the dialler a clock
+                            # sample on every (re)connect.
+                            ack_due = True
                         elif kind == "msg":
-                            seq, message = payload  # type: ignore[misc]
+                            seq, send_ns, message = payload  # type: ignore[misc]
+                            ping_echo_ns = send_ns
+                            ping_recv_ns = arrival_ns
                             if seq > self._delivered_seq.get(peer_index, 0):
                                 self._delivered_seq[peer_index] = seq
+                                tracer = self.tracer
+                                if tracer.enabled:
+                                    tracer.emit(
+                                        time=self.clock.now, party=self.index,
+                                        protocol="net", round=None,
+                                        kind="net.wire.recv",
+                                        payload={
+                                            "src": peer_index,
+                                            "seq": seq,
+                                            "kind": message_kind(message),
+                                            "bytes": len(body) + 4,
+                                        },
+                                    )
                                 self._hand_over(message)
-                            delivered_any = True
+                            ack_due = True
                         else:
                             raise FrameError(
                                 f"unexpected {kind.upper()} frame on an open "
@@ -454,13 +575,20 @@ class TcpNetwork:
                 except FrameError as exc:
                     self._reject_frame(peer_index, exc)
                     break
-                if delivered_any and peer_index is not None:
+                if ack_due and peer_index is not None:
                     # One cumulative ACK per read chunk releases the
                     # sender's retransmit buffer (ACKed even when every
                     # frame was a duplicate — the peer may have missed
                     # the earlier ACK).
                     try:
-                        writer.write(ack_frame(self._delivered_seq[peer_index]))
+                        writer.write(
+                            ack_frame(
+                                self._delivered_seq.get(peer_index, 0),
+                                echo_ns=ping_echo_ns,
+                                recv_ns=ping_recv_ns,
+                                send_ns=self.now_ns(),
+                            )
+                        )
                         await writer.drain()
                     except (ConnectionError, OSError):
                         break
@@ -480,7 +608,7 @@ class TcpNetwork:
         """Validate the first frame of an inbound connection."""
         if kind != "hello":
             raise FrameError("first frame was not HELLO")
-        index, cluster_id = payload  # type: ignore[misc]
+        index, cluster_id, _ts_ns = payload  # type: ignore[misc]
         if cluster_id != self.cluster_id:
             raise FrameError(
                 f"HELLO from cluster {cluster_id!r} (expected {self.cluster_id!r})"
@@ -510,9 +638,60 @@ class TcpNetwork:
                 payload={"peer": peer_index, "reason": str(exc)},
             )
 
+    # -- clock samples + STAT endpoint ----------------------------------------
+
+    def _record_clock_sample(
+        self, peer: int, t1_ns: int, t2_ns: int, t3_ns: int, t4_ns: int
+    ) -> None:
+        """Record one NTP four-timestamp sample for ``peer``.
+
+        ``t1`` our send-time (echoed), ``t2`` peer receive-time, ``t3``
+        peer ACK send-time, ``t4`` our ACK receive-time; ``theta`` is the
+        peer clock minus ours, ``rtt`` the round trip net of the peer's
+        hold time.  Retransmitted frames echo stale send-times and show
+        up as huge RTTs — downstream minimum filters discard them.
+        """
+        rtt = ((t4_ns - t1_ns) - (t3_ns - t2_ns)) * 1e-9
+        if rtt < 0:
+            return  # stale echo ordering artefact; not a usable sample
+        theta = ((t2_ns - t1_ns) + (t3_ns - t4_ns)) * 0.5e-9
+        self.clock_sync.add(peer, theta, rtt)
+        if self.meter.enabled:
+            self.meter.count("live.clock.samples")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                time=self.clock.now, party=self.index, protocol="net", round=None,
+                kind="live.clock.sample",
+                payload={"peer": peer, "theta": theta, "rtt": rtt},
+            )
+
+    def _stat_payload(self) -> dict:
+        """The STAT answer: the installed provider's snapshot, or a
+        transport-level fallback when no party is wired in."""
+        if self.meter.enabled:
+            self.meter.count("live.stat.requests")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                time=self.clock.now, party=self.index, protocol="net", round=None,
+                kind="live.stat.request", payload={},
+            )
+        if self.stats_provider is not None:
+            return dict(self.stats_provider())
+        return {
+            "index": self.index,
+            "cluster_id": self.cluster_id,
+            "delivered": self._delivered,
+            "connects": self.connects_total,
+            "reconnects": self.reconnects_total,
+            "clock_sync": self.clock_sync.summary(),
+        }
+
     # -- connection observability --------------------------------------------
 
     def _on_peer_connect(self, peer: int, direction: str, reconnect: bool) -> None:
+        self.connects_total += 1
+        if reconnect:
+            self.reconnects_total += 1
         if self.meter.enabled:
             self.meter.count("live.connects")
             if reconnect:

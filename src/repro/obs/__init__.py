@@ -22,7 +22,21 @@ Tracing is off by default (:data:`NULL_TRACER` everywhere) and costs a
 single branch per potential event when disabled.
 """
 
-from .export import read_jsonl, write_jsonl
+from .distributed import (
+    SCHEMA_VERSION,
+    ClockAlignment,
+    CollectError,
+    CollectedRun,
+    PairOffset,
+    PartyOffset,
+    align_events,
+    collect_run,
+    estimate_alignment,
+    estimate_pair,
+    pair_deltas,
+    trace_header,
+)
+from .export import read_jsonl, read_jsonl_with_header, write_jsonl
 from .metrics import (
     METRICS,
     NULL_METER,
@@ -53,6 +67,9 @@ from .tracer import (
 )
 
 __all__ = [
+    "ClockAlignment",
+    "CollectError",
+    "CollectedRun",
     "DEFAULT_CAPACITY",
     "EVENT_KINDS",
     "EventKind",
@@ -67,18 +84,28 @@ __all__ = [
     "NamespacedTracer",
     "NullMeter",
     "NullTracer",
+    "PairOffset",
+    "PartyOffset",
+    "SCHEMA_VERSION",
     "TraceEvent",
     "Tracer",
     "TracerLike",
     "UnknownEventKind",
     "UnknownMetric",
+    "align_events",
+    "collect_run",
+    "estimate_alignment",
+    "estimate_pair",
     "format_meter",
     "merge_meters",
     "namespaced_meter",
     "namespaced_tracer",
+    "pair_deltas",
     "read_jsonl",
+    "read_jsonl_with_header",
     "register",
     "register_metric",
     "short_id",
+    "trace_header",
     "write_jsonl",
 ]

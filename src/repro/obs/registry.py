@@ -448,3 +448,34 @@ register(
     "failed before a valid HELLO.",
     ("peer", "reason"),
 )
+register(
+    "net.wire.send", "repro.net.transport",
+    "A message left this process for peer `dst` over the wire with "
+    "per-link sequence number `seq`; pairs with the receiver's "
+    "`net.wire.recv` keyed by (src, dst, seq) to form a causal "
+    "wire-transit span (`kind` is the message class, `bytes` the encoded "
+    "frame size).",
+    ("dst", "seq", "kind", "bytes"),
+)
+register(
+    "net.wire.recv", "repro.net.transport",
+    "A message from peer `src` with per-link sequence number `seq` was "
+    "delivered for the first time; the matching `net.wire.send` on the "
+    "sender closes the wire-transit span.",
+    ("src", "seq", "kind", "bytes"),
+)
+register(
+    "live.clock.sample", "repro.net.transport",
+    "An NTP-style ping sample for `peer` completed over the HELLO/ACK "
+    "exchange: `theta` is the instantaneous offset estimate "
+    "(peer clock minus ours, seconds), `rtt` the round-trip time minus "
+    "remote hold time; the distributed-trace collector feeds these into "
+    "clock alignment.",
+    ("peer", "theta", "rtt"),
+)
+register(
+    "live.stat.request", "repro.net.transport",
+    "This process answered a STAT frame with its current meter/state "
+    "snapshot (the `repro top` polling endpoint).",
+    (),
+)

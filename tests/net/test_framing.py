@@ -14,6 +14,8 @@ from repro.net.framing import (
     encode_frame,
     hello_frame,
     message_frame,
+    stat_frame,
+    stat_reply_frame,
 )
 
 
@@ -24,16 +26,42 @@ class TestEncode:
         (body,) = decoder.feed(frame)
         kind, payload = decode_payload(body)
         assert kind == "msg"
-        assert payload == (9, {"hello": 1, "world": [2, 3]})
+        assert payload == (9, 0, {"hello": 1, "world": [2, 3]})
+
+    def test_round_trip_message_timestamp(self):
+        frame = message_frame(9, "m", ts_ns=123_456_789)
+        (body,) = FrameDecoder().feed(frame)
+        assert decode_payload(body) == ("msg", (9, 123_456_789, "m"))
 
     def test_round_trip_hello(self):
         frame = hello_frame(7, "cluster-x")
         (body,) = FrameDecoder().feed(frame)
-        assert decode_payload(body) == ("hello", (7, "cluster-x"))
+        assert decode_payload(body) == ("hello", (7, "cluster-x", 0))
+
+    def test_round_trip_hello_timestamp(self):
+        frame = hello_frame(7, "cluster-x", ts_ns=42)
+        (body,) = FrameDecoder().feed(frame)
+        assert decode_payload(body) == ("hello", (7, "cluster-x", 42))
 
     def test_round_trip_ack(self):
         (body,) = FrameDecoder().feed(ack_frame(41))
-        assert decode_payload(body) == ("ack", 41)
+        assert decode_payload(body) == ("ack", (41, 0, 0, 0))
+
+    def test_round_trip_ack_clock_sample(self):
+        """ACKs piggyback the NTP-style sample: echoed peer send time,
+        local receive time, ACK send time."""
+        frame = ack_frame(41, echo_ns=111, recv_ns=222, send_ns=333)
+        (body,) = FrameDecoder().feed(frame)
+        assert decode_payload(body) == ("ack", (41, 111, 222, 333))
+
+    def test_round_trip_stat(self):
+        (body,) = FrameDecoder().feed(stat_frame())
+        assert decode_payload(body) == ("stat", None)
+
+    def test_round_trip_stat_reply(self):
+        snapshot = {"index": 3, "height": 17, "clock_sync": {"2": {}}}
+        (body,) = FrameDecoder().feed(stat_reply_frame(snapshot))
+        assert decode_payload(body) == ("stat_reply", snapshot)
 
     def test_empty_body_rejected(self):
         with pytest.raises(FrameError):
@@ -55,6 +83,12 @@ class TestEncode:
         with pytest.raises(FrameError):
             ack_frame(-1)
 
+    def test_negative_timestamp_clamped(self):
+        """Monotonic clocks never go negative; a bogus caller value is
+        clamped rather than crashing the wire."""
+        (body,) = FrameDecoder().feed(message_frame(1, "m", ts_ns=-5))
+        assert decode_payload(body) == ("msg", (1, 0, "m"))
+
 
 class TestDecodePayload:
     def test_unknown_type_byte(self):
@@ -71,11 +105,26 @@ class TestDecodePayload:
 
     def test_undecodable_pickle(self):
         with pytest.raises(FrameError, match="undecodable MSG"):
-            decode_payload(b"\x02" + (1).to_bytes(8, "big") + b"not-a-pickle")
+            decode_payload(
+                b"\x02" + (1).to_bytes(8, "big") + (0).to_bytes(8, "big")
+                + b"not-a-pickle"
+            )
 
     def test_malformed_ack(self):
         with pytest.raises(FrameError, match="malformed ACK"):
             decode_payload(b"\x03\x00\x01")
+
+    def test_malformed_stat(self):
+        with pytest.raises(FrameError, match="malformed STAT"):
+            decode_payload(b"\x04extra")
+
+    def test_undecodable_stat_reply(self):
+        with pytest.raises(FrameError, match="undecodable STAT_REPLY"):
+            decode_payload(b"\x05not json")
+
+    def test_stat_reply_must_be_object(self):
+        with pytest.raises(FrameError, match="not a JSON object"):
+            decode_payload(b"\x05[1, 2]")
 
     def test_empty_body(self):
         with pytest.raises(FrameError):
@@ -91,14 +140,14 @@ class TestFrameDecoder:
         for i in range(len(frame)):
             bodies += decoder.feed(frame[i : i + 1])
         assert len(bodies) == 1
-        assert decode_payload(bodies[0]) == ("msg", (1, ("block", 42)))
+        assert decode_payload(bodies[0]) == ("msg", (1, 0, ("block", 42)))
         assert decoder.pending_bytes == 0
 
     def test_glued_frames_split(self):
         frames = message_frame(1, "a") + message_frame(2, "b") + message_frame(3, "c")
         bodies = FrameDecoder().feed(frames)
         assert [decode_payload(b)[1] for b in bodies] == [
-            (1, "a"), (2, "b"), (3, "c"),
+            (1, 0, "a"), (2, 0, "b"), (3, 0, "c"),
         ]
 
     def test_frame_split_across_feeds(self):
@@ -110,7 +159,9 @@ class TestFrameDecoder:
         assert bodies == []
         assert decoder.pending_bytes == cut
         bodies = decoder.feed(stream[cut:])
-        assert [decode_payload(b)[1] for b in bodies] == [(1, "a" * 100), (2, "b")]
+        assert [decode_payload(b)[1] for b in bodies] == [
+            (1, 0, "a" * 100), (2, 0, "b"),
+        ]
 
     def test_oversized_rejected_before_body_arrives(self):
         """The cap triggers on the declared length — no buffering of the
@@ -129,4 +180,4 @@ class TestFrameDecoder:
         frame = message_frame(1, payload)
         assert len(frame) < DEFAULT_MAX_FRAME
         (body,) = FrameDecoder().feed(frame)
-        assert decode_payload(body)[1] == (1, payload)
+        assert decode_payload(body)[1] == (1, 0, payload)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import asyncio
+import warnings
 
 import pytest
 
@@ -11,6 +12,13 @@ from repro.net.cluster import LiveCluster
 from repro.net.config import local_live_config
 from repro.net.live import summarize
 from repro.net.party import LiveParty, generate_load_requests
+from repro.obs import (
+    Meter,
+    Tracer,
+    read_jsonl_with_header,
+    trace_header,
+    write_jsonl,
+)
 
 
 def quick_config(**overrides):
@@ -82,6 +90,49 @@ class TestLiveCluster:
         assert block["parties_reporting"] == 4
         assert block["min_height"] >= config.target_height
         assert block["heights_per_sec"] > 0
+
+
+class TestTraceExport:
+    def test_ring_pressure_export_carries_trace_dropped(self, tmp_path):
+        """A live run against a deliberately tiny ring buffer: the export
+        must end in a ``trace.dropped`` summary and still round-trip
+        through the headered JSONL layer event-for-event."""
+        config = quick_config(seed=11)
+        tracers = {i: Tracer(capacity=40) for i in range(1, 5)}
+        meters = {i: Meter() for i in range(1, 5)}
+
+        async def scenario():
+            cluster = LiveCluster(
+                config, per_party=lambda i: (tracers[i], meters[i])
+            )
+            async with cluster:
+                ok = await cluster.wait_for_height(
+                    config.target_height, config.timeout
+                )
+                cluster.check_safety()
+                return ok
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)  # ring-full
+            assert asyncio.run(scenario())
+
+        for index, tracer in tracers.items():
+            assert tracer.dropped > 0, "capacity=40 must overflow"
+            exported = tracer.export_events()
+            assert exported[-1].kind == "trace.dropped"
+            assert exported[-1].payload == {
+                "dropped": tracer.dropped,
+                "emitted": tracer.emitted,
+                "capacity": 40,
+            }
+            path = str(tmp_path / f"trace-{index}.jsonl")
+            header = trace_header(
+                run_id="ring-run", party=index, cluster_id=config.cluster_id
+            )
+            write_jsonl(exported, path, header=header)
+            loaded_header, loaded = read_jsonl_with_header(path)
+            assert loaded_header == header
+            assert loaded == exported
 
 
 class TestLiveParty:

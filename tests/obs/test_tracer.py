@@ -132,3 +132,47 @@ class TestRegistry:
             assert spec.name == name
             assert spec.module.startswith("repro.")
             assert spec.description
+
+
+class TestWireKindsRoundTrip:
+    """Every registered ``net.*``/``live.*`` kind — including the causal
+    wire-span pair and the clock/STAT events — survives a headered JSONL
+    export byte-for-byte."""
+
+    def sample_event(self, index, spec):
+        payload = {name: k for k, name in enumerate(spec.fields)}
+        return TraceEvent(
+            time=0.001 * index, party=1 + index % 4, protocol="net",
+            round=index % 3 or None, kind=spec.name, payload=payload,
+        )
+
+    def test_all_wire_kinds_round_trip_with_header(self):
+        specs = [
+            spec for name, spec in sorted(EVENT_KINDS.items())
+            if name.startswith(("net.", "live."))
+        ]
+        # The PR's new kinds must be part of this sweep, not just legacy.
+        names = {spec.name for spec in specs}
+        assert {"net.wire.send", "net.wire.recv",
+                "live.clock.sample", "live.stat.request"} <= names
+
+        tracer = Tracer()
+        events = []
+        for index, spec in enumerate(specs):
+            event = self.sample_event(index, spec)
+            # Registry enforcement: every one of these is emittable.
+            tracer.emit(time=event.time, party=event.party,
+                        protocol=event.protocol, round=event.round,
+                        kind=event.kind, payload=event.payload)
+            events.append(event)
+        assert len(tracer) == len(specs)
+
+        from repro.obs import read_jsonl_with_header, trace_header
+
+        buffer = io.StringIO()
+        header = trace_header(run_id="rt", party=1, cluster_id="c")
+        assert write_jsonl(events, buffer, header=header) == len(events)
+        buffer.seek(0)
+        loaded_header, loaded = read_jsonl_with_header(buffer)
+        assert loaded_header == header
+        assert loaded == events

@@ -188,9 +188,28 @@ def shard_report(gain=4.0, penalty=2.4, monotonic=True, forged=True, identical=T
     }
 
 
+def live_breakdown(telescope=True, uncertainty=0.004) -> dict:
+    return {
+        "heights": 18,
+        "spans_telescope": telescope,
+        "max_residual_s": 0.0,
+        "clock_uncertainty_s": uncertainty,
+        "finalization_latency_mean_s": 0.08,
+        "stage_means_s": {
+            "propose_wait": 0.01,
+            "wire_transit": 0.02,
+            "notarization_quorum": 0.03,
+            "finalization_quorum": 0.02,
+        },
+        "wire_transit": {"spans": 120, "mean_s": 0.006,
+                         "p50_s": 0.005, "p99_s": 0.012},
+    }
+
+
 def live_report(
     n=4, target=20, min_height=20, live_ok=True, safety_ok=True,
     reporting=None, requests=160, p50=0.12, p90=0.14, rate=16.0,
+    breakdown="default",
 ) -> dict:
     return {
         "benchmark": "live transport",
@@ -209,6 +228,9 @@ def live_report(
             "requests_completed": requests,
             "request_latency_p50": p50,
             "request_latency_p90": p90,
+            "latency_breakdown": (
+                live_breakdown() if breakdown == "default" else breakdown
+            ),
         },
     }
 
@@ -256,6 +278,34 @@ class TestGateLive:
             live_report(requests=0, p50=None, p90=None),
             live_report(target=5, min_height=5), 0.25,
         ) == []
+
+    def test_missing_breakdown_fails_either_side(self):
+        failures = bench_gate.gate_live(
+            live_report(breakdown=None), live_report(target=5, min_height=5), 0.25
+        )
+        assert any("committed" in f and "latency_breakdown" in f for f in failures)
+        failures = bench_gate.gate_live(
+            live_report(),
+            live_report(target=5, min_height=5, breakdown=None), 0.25,
+        )
+        assert any("fresh" in f and "latency_breakdown" in f for f in failures)
+
+    def test_non_telescoping_spans_fail(self):
+        failures = bench_gate.gate_live(
+            live_report(breakdown=live_breakdown(telescope=False)),
+            live_report(target=5, min_height=5), 0.25,
+        )
+        assert any("telescope" in f for f in failures)
+
+    def test_unbounded_clock_uncertainty_fails(self):
+        for bad in (float("inf"), float("nan"), -1.0, None):
+            failures = bench_gate.gate_live(
+                live_report(),
+                live_report(target=5, min_height=5,
+                            breakdown=live_breakdown(uncertainty=bad)),
+                0.25,
+            )
+            assert any("uncertainty" in f for f in failures), bad
 
     def test_committed_snapshot_must_target_twenty_heights(self):
         """The acceptance floor: a quick-probe snapshot cannot be the
@@ -370,6 +420,9 @@ class TestCommittedSnapshots:
         assert report["target_height"] >= 20  # the PR's acceptance floor
         assert report["live"]["min_height"] >= report["target_height"]
         assert report["live"]["parties_reporting"] == report["cluster"]["n"]
+        breakdown = report["live"]["latency_breakdown"]
+        assert breakdown["spans_telescope"] is True
+        assert breakdown["clock_uncertainty_s"] >= 0.0
         # Gating the committed snapshot against itself must pass.
         assert bench_gate.gate_live(report, report, 0.25) == []
 

@@ -317,6 +317,29 @@ def gate_live(committed: dict, fresh: dict, tolerance: float) -> list[str]:
             failures.append(
                 f"live[{origin}]: non-positive finalization rate {rate!r}"
             )
+        breakdown = live.get("latency_breakdown")
+        if not isinstance(breakdown, dict):
+            failures.append(
+                f"live[{origin}]: no latency_breakdown block — run with "
+                "tracing (`python -m repro live --bench`)"
+            )
+        else:
+            if breakdown.get("spans_telescope") is not True:
+                failures.append(
+                    f"live[{origin}]: critical-path stage spans do not "
+                    "telescope to the measured finalization latency"
+                )
+            uncertainty = breakdown.get("clock_uncertainty_s")
+            if not (
+                isinstance(uncertainty, (int, float))
+                and uncertainty >= 0
+                and uncertainty == uncertainty  # not NaN
+                and uncertainty != float("inf")
+            ):
+                failures.append(
+                    f"live[{origin}]: clock-alignment uncertainty "
+                    f"{uncertainty!r} is not a finite non-negative bound"
+                )
     committed_target = committed.get("target_height")
     if not (isinstance(committed_target, int) and committed_target >= 20):
         failures.append(

@@ -30,7 +30,10 @@ Checks every ``*.md`` file in the repo root and ``docs/``:
   ``docs/SHARDING.md`` (the sharding subsystem's own page must not
   drift from the registries either);
 * every ``live.*`` metric and event kind additionally appears in
-  ``docs/TRANSPORT.md``, the live transport's reference page.
+  ``docs/TRANSPORT.md``, the live transport's reference page;
+* the observability CLI surface (``trace``, ``collect``, ``top``) is
+  shown as ``python -m repro <name>`` invocations in
+  ``docs/OBSERVABILITY.md``, not just the README.
 
 Exit status 0 when clean, 1 with one line per problem otherwise.  CI runs
 this plus the test-suite; ``tests/test_docs.py`` runs it in-process.
@@ -265,6 +268,34 @@ def check_backend_docs(problems: list[str]) -> None:
             )
 
 
+#: Observability CLI surface: these subcommands must be shown (as a
+#: ``python -m repro <name>`` invocation) in docs/OBSERVABILITY.md, the
+#: tracing/metrics reference page, not just in the README.
+OBSERVABILITY_CLIS = ("trace", "collect", "top")
+
+
+def check_observability_cli_docs(problems: list[str]) -> None:
+    """The trace/collect/top commands must be documented where the
+    observability subsystem is documented."""
+    registered = set(cli_subcommands())
+    wanted = [name for name in OBSERVABILITY_CLIS if name in registered]
+    if not wanted:
+        return
+    doc = REPO / "docs" / "OBSERVABILITY.md"
+    if not doc.is_file():
+        problems.append(
+            "docs/OBSERVABILITY.md: missing (cannot check observability CLIs)"
+        )
+        return
+    text = re.sub(r"\s+", " ", doc.read_text(encoding="utf-8"))
+    for name in wanted:
+        if f"python -m repro {name}" not in text:
+            problems.append(
+                f"docs/OBSERVABILITY.md: observability CLI {name!r} is "
+                f"undocumented (no `python -m repro {name}` invocation found)"
+            )
+
+
 def check_live_docs(problems: list[str]) -> None:
     """Every ``live.*`` metric and event kind must appear backticked in
     TRANSPORT.md, the live transport's own reference page."""
@@ -295,6 +326,7 @@ def run() -> list[str]:
         check_fences(path, problems)
         check_tables(path, problems)
     check_cli_docs(problems)
+    check_observability_cli_docs(problems)
     check_metric_docs(problems)
     check_event_docs(problems)
     check_shard_docs(problems)
